@@ -1,0 +1,24 @@
+// Ablation — the adaptive-ROB predecessor (Sharkey, Balkan & Ponomarev,
+// PACT 2006; the paper's ref [23]), reconstructed as per-thread private ROBs
+// that grow/shrink in partitions under commit-bound / issue-bound phase
+// classification.
+//
+// The paper's claims against it (§1): the phase classification is performed
+// continuously and allocations happen at small-partition granularity (more
+// mechanism for less effect), and growth is bounded by each thread's
+// physical ROB, "not sufficient to cover long memory latencies". The
+// two-level design should therefore match or beat it with a simpler trigger.
+#include "experiment_cli.hpp"
+
+using namespace tlrob;
+using namespace tlrob::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+  run_ft_figure("Adaptive-ROB (ref [23]) vs the two-level design",
+                {{"Baseline_32", baseline32_config()},
+                 {"Adaptive", two_level_config(RobScheme::kAdaptive, 16)},
+                 {"R-ROB16", two_level_config(RobScheme::kReactive, 16)}},
+                run_length(opts));
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Ablation (§2/§3) — fetch/resource policies on the baseline machine:
+// round-robin, ICOUNT, STALL, FLUSH and DCRA (the paper's baseline).
+//
+// The paper (corroborating Cazorla et al.) treats DCRA as generally superior
+// to the earlier fetch policies; STALL/FLUSH gate fetching on outstanding L2
+// misses; FLUSH additionally frees the shared resources held by the stalled
+// thread's post-miss instructions.
+#include "experiment_cli.hpp"
+
+using namespace tlrob;
+using namespace tlrob::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+  const RunLength rl = run_length(opts);
+
+  auto with_policy = [](FetchPolicyKind k) {
+    MachineConfig cfg = baseline32_config();
+    cfg.fetch_policy = k;
+    return cfg;
+  };
+
+  run_ft_figure("Fetch-policy ablation (Baseline_32 machine)",
+                {{"DCRA", with_policy(FetchPolicyKind::kDcra)},
+                 {"ICOUNT", with_policy(FetchPolicyKind::kIcount)},
+                 {"STALL", with_policy(FetchPolicyKind::kStall)},
+                 {"FLUSH", with_policy(FetchPolicyKind::kFlush)},
+                 {"RoundRobin", with_policy(FetchPolicyKind::kRoundRobin)}},
+                rl);
+  return 0;
+}

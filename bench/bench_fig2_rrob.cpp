@@ -1,0 +1,22 @@
+// Figure 2 — Fair-throughput performance of the reactive two-level ROB
+// (2-Level R-ROB16) against Baseline_32 (Table 1 machine, one 32-entry
+// private ROB per thread) and Baseline_128 (private ROBs blindly scaled to
+// 128 entries — same total entry count as the two-level design).
+//
+// Paper result: R-ROB16 improves FT by 30.53% over Baseline_32 and 59.5%
+// over Baseline_128; Baseline_128 *underperforms* Baseline_32 because of the
+// extra pressure on the shared resources.
+#include "experiment_cli.hpp"
+
+using namespace tlrob;
+using namespace tlrob::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+  run_ft_figure("Figure 2: FT with 2-Level R-ROB",
+                {{"Baseline_32", baseline32_config()},
+                 {"Baseline_128", baseline128_config()},
+                 {"R-ROB16", two_level_config(RobScheme::kReactive, 16)}},
+                run_length(opts));
+  return 0;
+}

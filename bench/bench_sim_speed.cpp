@@ -1,0 +1,63 @@
+// Simulator-throughput microbenchmarks (google-benchmark): cycles/second and
+// simulated-instructions/second of the core on representative workloads.
+// Not a paper figure — a regression guard for the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "sim/experiment.hpp"
+#include "workload/spec_profiles.hpp"
+
+using namespace tlrob;
+
+namespace {
+
+void BM_SingleThreadCompute(benchmark::State& state) {
+  u64 insts = 0, cycles = 0;
+  for (auto _ : state) {
+    MachineConfig cfg = single_thread_config();
+    SmtCore core(cfg, {spec_benchmark("crafty")});
+    const RunResult r = core.run(20000);
+    insts += r.threads[0].committed;
+    cycles += r.cycles;
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SingleThreadCompute)->Unit(benchmark::kMillisecond);
+
+void BM_SingleThreadMemoryBound(benchmark::State& state) {
+  u64 insts = 0, cycles = 0;
+  for (auto _ : state) {
+    MachineConfig cfg = single_thread_config();
+    SmtCore core(cfg, {spec_benchmark("art")});
+    const RunResult r = core.run(10000);
+    insts += r.threads[0].committed;
+    cycles += r.cycles;
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SingleThreadMemoryBound)->Unit(benchmark::kMillisecond);
+
+void BM_FourThreadMixTwoLevel(benchmark::State& state) {
+  u64 insts = 0, cycles = 0;
+  for (auto _ : state) {
+    SmtCore core(two_level_config(RobScheme::kReactive, 16),
+                 mix_benchmarks(table2_mix(1)));
+    const RunResult r = core.run(10000);
+    for (const auto& t : r.threads) insts += t.committed;
+    cycles += r.cycles;
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FourThreadMixTwoLevel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

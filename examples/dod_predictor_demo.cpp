@@ -1,0 +1,56 @@
+// Demonstrates the Degree-of-Dependence machinery: runs one mix under the
+// predictive scheme and reports (a) the DoD distribution of long-latency
+// loads — the paper's Figures 1/7 quantity, (b) how well the paper's
+// result-valid-bit counting proxy tracks true transitive dependents, and
+// (c) the accuracy of the PC-indexed last-value DoD predictor.
+//
+//   ./dod_predictor_demo [mix=1] [threshold=5] [insts=120000]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+
+using namespace tlrob;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+  const u32 mix_id = static_cast<u32>(opts.get_u64("mix", 1));
+  const u32 threshold = static_cast<u32>(opts.get_u64("threshold", 5));
+  const u64 insts = opts.get_u64("insts", 120000);
+  const Mix& mix = table2_mix(mix_id);
+
+  const MachineConfig cfg = two_level_config(RobScheme::kPredictive, threshold);
+  const RunResult r = run_benchmarks(cfg, mix_benchmarks(mix), insts, 0, insts / 2);
+
+  std::printf("%s under 2-Level P-ROB%u\n\n", mix.name.c_str(), threshold);
+  std::printf("DoD of long-latency loads at miss-service time (%llu samples):\n",
+              static_cast<unsigned long long>(r.dod_true.total_samples()));
+  std::printf("%-6s %12s %12s\n", "#dep", "true", "proxy");
+  for (u32 v = 0; v <= 31; ++v)
+    std::printf("%-6u %12llu %12llu\n", v,
+                static_cast<unsigned long long>(r.dod_true.bucket(v)),
+                static_cast<unsigned long long>(r.dod_proxy.bucket(v)));
+  std::printf("%-6s %12.2f %12.2f\n", "mean", r.dod_true.mean(), r.dod_proxy.mean());
+  std::printf("\nThe proxy (count of not-yet-executed instructions behind the load in the\n"
+              "first-level ROB) over-approximates the true transitive dependents, as the\n"
+              "paper anticipates; the gap closes when counting is delayed (CDR scheme).\n\n");
+
+  const u64 repeats = run_counter(r, "dodpred.exact_repeats");
+  const u64 changes = run_counter(r, "dodpred.value_changes");
+  const u64 cold = run_counter(r, "dodpred.cold_installs");
+  const u64 total = repeats + changes + cold;
+  std::printf("DoD last-value predictor (per static load):\n");
+  std::printf("  exact repeats  %8llu (%.1f%%)\n", static_cast<unsigned long long>(repeats),
+              total ? 100.0 * repeats / total : 0.0);
+  std::printf("  value changes  %8llu (%.1f%%)\n", static_cast<unsigned long long>(changes),
+              total ? 100.0 * changes / total : 0.0);
+  std::printf("  cold installs  %8llu (%.1f%%)\n", static_cast<unsigned long long>(cold),
+              total ? 100.0 * cold / total : 0.0);
+  std::printf("\nAllocation activity: %llu predictions, %llu predictive allocations, "
+              "%llu verification failures, %llu cold misses\n",
+              static_cast<unsigned long long>(run_counter(r, "rob.predictions")),
+              static_cast<unsigned long long>(run_counter(r, "rob.predictive_allocations")),
+              static_cast<unsigned long long>(run_counter(r, "rob.verification_failures")),
+              static_cast<unsigned long long>(run_counter(r, "rob.prediction_cold_misses")));
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Full simulator driver (the sim-outorder of this repository): run any
+// benchmark combination on any machine configuration and dump every
+// statistic the core collects.
+//
+//   ./simulate [bench names ...] [mix=N] [machine knobs] [run knobs]
+//
+// Workload selection: either positional SPEC profile names (1..N, one per
+// hardware thread, e.g. `./simulate art mgrid crafty parser`) or `mix=N`
+// for a Table 2 mix. `threads=` defaults to the number of named benchmarks.
+//
+// Run knobs: insts=N (default 120000), warmup=N (default 60000),
+// max_cycles=N, stats=0|1 (dump all counters),
+// trace=START:END (pipeline event trace for that cycle window, to stderr).
+// Machine knobs: see sim/config_override.hpp (scheme=, threshold=, policy=,
+// rob1=, rob2=, l2_kb=, mem_lat=, seed=, ...).
+//
+// Examples:
+//   ./simulate mix=1 scheme=rrob threshold=16
+//   ./simulate art art mgrid crafty scheme=prob threshold=5 stats=1
+//   ./simulate mcf threads=1 rob1=128 policy=icount
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/config_override.hpp"
+#include "sim/experiment.hpp"
+#include "workload/spec_profiles.hpp"
+
+using namespace tlrob;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+
+  // --- workload ------------------------------------------------------------
+  std::vector<Benchmark> benches;
+  if (opts.has("mix")) {
+    benches = mix_benchmarks(table2_mix(static_cast<u32>(opts.get_u64("mix", 1))));
+  } else {
+    for (const std::string& name : opts.positional()) {
+      if (!is_spec_benchmark(name)) {
+        std::fprintf(stderr, "unknown benchmark '%s'; available:", name.c_str());
+        for (const auto& b : spec_benchmarks()) std::fprintf(stderr, " %s", b.name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+      }
+      benches.push_back(spec_benchmark(name));
+    }
+  }
+  if (benches.empty()) benches = mix_benchmarks(table2_mix(1));
+
+  // --- machine ----------------------------------------------------------------
+  MachineConfig cfg;
+  cfg.num_threads = static_cast<u32>(benches.size());
+  cfg.rob_second_level = 0;
+  cfg.rob.scheme = RobScheme::kBaseline;
+  cfg = apply_overrides(cfg, opts);
+  if (cfg.rob.scheme != RobScheme::kBaseline && !opts.has("rob2"))
+    cfg.rob_second_level = 384;  // Table 1 default when a two-level scheme is on
+  while (benches.size() < cfg.num_threads) benches.push_back(benches.back());
+  if (benches.size() > cfg.num_threads) benches.resize(cfg.num_threads);
+
+  const u64 insts = opts.get_u64("insts", 120000);
+  const u64 warmup = opts.get_u64("warmup", 60000);
+  const u64 max_cycles = opts.get_u64("max_cycles", 0);
+
+  std::printf("%s", describe(cfg).c_str());
+  std::printf("workload              ");
+  for (const auto& b : benches) std::printf(" %s", b.name.c_str());
+  std::printf("\nrun                    %llu insts after %llu warmup\n\n",
+              static_cast<unsigned long long>(insts),
+              static_cast<unsigned long long>(warmup));
+
+  SmtCore core(cfg, benches);
+  if (opts.has("trace")) {
+    const std::string spec = opts.get("trace");
+    const auto colon = spec.find(':');
+    const Cycle lo = std::strtoull(spec.c_str(), nullptr, 0);
+    const Cycle hi = colon == std::string::npos
+                         ? lo + 200
+                         : std::strtoull(spec.c_str() + colon + 1, nullptr, 0);
+    core.tracer().attach(&std::cerr, lo, hi);
+  }
+  const RunResult r = core.run(insts, max_cycles, warmup);
+
+  std::printf("%-10s %10s %10s\n", "thread", "committed", "IPC");
+  for (const auto& t : r.threads)
+    std::printf("%-10s %10llu %10.4f\n", t.benchmark.c_str(),
+                static_cast<unsigned long long>(t.committed), t.ipc);
+  std::printf("%-10s %10llu %10.4f  (sum)\n", "cycles",
+              static_cast<unsigned long long>(r.cycles), r.total_throughput());
+
+  if (cfg.rob.scheme != RobScheme::kBaseline) {
+    std::printf("\nsecond level: %llu allocations, busy %llu/%llu cycles (%.1f%%)\n",
+                static_cast<unsigned long long>(run_counter(r, "rob2.allocations")),
+                static_cast<unsigned long long>(run_counter(r, "rob2.busy_cycles")),
+                static_cast<unsigned long long>(r.cycles),
+                r.cycles ? 100.0 * static_cast<double>(run_counter(r, "rob2.busy_cycles")) /
+                               static_cast<double>(r.cycles)
+                         : 0.0);
+  }
+  if (r.dod_true.total_samples() > 0)
+    std::printf("long-latency loads: %llu, mean DoD %.2f (proxy %.2f)\n",
+                static_cast<unsigned long long>(r.dod_true.total_samples()),
+                r.dod_true.mean(), r.dod_proxy.mean());
+
+  if (opts.get_bool("stats", false)) {
+    std::printf("\n--- all counters ---\n");
+    for (const auto& [k, v] : r.counters)
+      std::printf("%-44s %llu\n", k.c_str(), static_cast<unsigned long long>(v));
+  }
+  return 0;
+}

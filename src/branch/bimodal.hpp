@@ -1,0 +1,27 @@
+// 2-bit saturating-counter bimodal predictor table.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob {
+
+/// A table of 2-bit saturating counters indexed by an arbitrary hash the
+/// caller supplies. Counters start weakly taken (2).
+class BimodalTable {
+ public:
+  explicit BimodalTable(u32 entries);
+
+  bool predict(u64 index) const { return table_[mask(index)] >= 2; }
+  void update(u64 index, bool taken);
+
+  u32 size() const { return static_cast<u32>(table_.size()); }
+  u8 counter(u64 index) const { return table_[mask(index)]; }
+
+ private:
+  u64 mask(u64 index) const { return index & (table_.size() - 1); }
+  std::vector<u8> table_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,56 @@
+#include "branch/btb.hpp"
+
+#include <stdexcept>
+
+namespace tlrob {
+
+Btb::Btb(u32 entries, u32 ways) : ways_(ways) {
+  if (ways == 0 || entries % ways != 0)
+    throw std::invalid_argument("Btb: entries must be a multiple of ways");
+  sets_ = entries / ways;
+  if ((sets_ & (sets_ - 1)) != 0)
+    throw std::invalid_argument("Btb: set count must be a power of two");
+  entries_.resize(entries);
+}
+
+std::optional<Addr> Btb::lookup(ThreadId tid, Addr pc) {
+  const u64 set = set_of(pc);
+  const u64 tag = tag_of(tid, pc);
+  for (u32 w = 0; w < ways_; ++w) {
+    Entry& e = entries_[set * ways_ + w];
+    if (e.valid && e.tag == tag) {
+      e.lru = ++stamp_;
+      return e.target;
+    }
+  }
+  return std::nullopt;
+}
+
+void Btb::update(ThreadId tid, Addr pc, Addr target) {
+  const u64 set = set_of(pc);
+  const u64 tag = tag_of(tid, pc);
+  ++stamp_;
+  for (u32 w = 0; w < ways_; ++w) {
+    Entry& e = entries_[set * ways_ + w];
+    if (e.valid && e.tag == tag) {
+      e.target = target;
+      e.lru = stamp_;
+      return;
+    }
+  }
+  Entry* victim = &entries_[set * ways_];
+  for (u32 w = 0; w < ways_; ++w) {
+    Entry& e = entries_[set * ways_ + w];
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->target = target;
+  victim->lru = stamp_;
+}
+
+}  // namespace tlrob

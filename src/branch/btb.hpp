@@ -1,0 +1,45 @@
+// Branch target buffer (Table 1: 2048-entry, 2-way set-associative).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob {
+
+class Btb {
+ public:
+  Btb(u32 entries, u32 ways);
+
+  /// Returns the cached target for `pc`, if any, refreshing its recency.
+  /// Tags include the thread id so that coexisting threads (whose PCs live
+  /// in disjoint address spaces anyway) never alias destructively.
+  std::optional<Addr> lookup(ThreadId tid, Addr pc);
+
+  /// Installs/refreshes the mapping pc -> target (LRU within the set).
+  void update(ThreadId tid, Addr pc, Addr target);
+
+  u32 sets() const { return sets_; }
+  u32 ways() const { return ways_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    u64 tag = 0;
+    Addr target = 0;
+    u64 lru = 0;  // last-touch stamp
+  };
+
+  u64 set_of(Addr pc) const { return (pc >> 2) & (sets_ - 1); }
+  u64 tag_of(ThreadId tid, Addr pc) const {
+    return ((pc >> 2) / sets_) << 3 | (tid & 0x7);
+  }
+
+  u32 sets_;
+  u32 ways_;
+  std::vector<Entry> entries_;  // sets_ * ways_, set-major
+  u64 stamp_ = 0;
+};
+
+}  // namespace tlrob

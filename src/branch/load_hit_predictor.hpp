@@ -1,0 +1,36 @@
+// Load-hit predictor (Table 1: 2-bit bimodal, 1K entries, 8-bit global
+// history per thread).
+//
+// Drives speculative scheduling of load dependents: a load predicted to hit
+// the L1 wakes its dependents after the 2-cycle hit latency; if it actually
+// misses, speculatively issued dependents are replayed (see the issue queue).
+#pragma once
+
+#include <vector>
+
+#include "branch/bimodal.hpp"
+#include "common/types.hpp"
+
+namespace tlrob {
+
+class LoadHitPredictor {
+ public:
+  LoadHitPredictor(u32 entries, u32 history_bits, u32 num_threads);
+
+  /// Predicted "will hit L1" for the load at `pc`.
+  bool predict(ThreadId tid, Addr pc) const;
+
+  /// Trains with the actual outcome and shifts it into the thread history.
+  void update(ThreadId tid, Addr pc, bool hit);
+
+ private:
+  u64 index(ThreadId tid, Addr pc) const {
+    return (pc >> 2) ^ histories_[tid];
+  }
+
+  BimodalTable table_;
+  u32 history_mask_;
+  std::vector<u32> histories_;
+};
+
+}  // namespace tlrob

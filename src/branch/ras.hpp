@@ -1,0 +1,42 @@
+// Per-thread return address stack.
+//
+// Recovery model: the fetch unit snapshots the stack pointer at every control
+// instruction it predicts; a squash restores that pointer. Entry contents are
+// not checkpointed (a standard low-cost RAS; corruption after deep wrong-path
+// call/return sequences is possible and simply yields a misprediction).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace tlrob {
+
+class ReturnAddressStack {
+ public:
+  static constexpr u32 kDepth = 16;
+
+  void push(Addr return_pc) {
+    top_ = (top_ + 1) % kDepth;
+    stack_[top_] = return_pc;
+  }
+
+  /// Predicted return target; pops the stack.
+  Addr pop() {
+    const Addr pc = stack_[top_];
+    top_ = (top_ + kDepth - 1) % kDepth;
+    return pc;
+  }
+
+  /// Current top-of-stack index; stash it before a predicted control op.
+  u32 checkpoint() const { return top_; }
+
+  /// Restores the stack pointer saved by checkpoint().
+  void restore(u32 saved_top) { top_ = saved_top; }
+
+ private:
+  std::array<Addr, kDepth> stack_{};
+  u32 top_ = kDepth - 1;
+};
+
+}  // namespace tlrob

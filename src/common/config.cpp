@@ -1,0 +1,58 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+namespace tlrob {
+
+Options Options::from_args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return from_tokens(tokens);
+}
+
+Options Options::from_tokens(const std::vector<std::string>& tokens) {
+  Options opts;
+  for (const auto& tok : tokens) {
+    // Accept both "key=value" and "--key=value".
+    size_t dashes = 0;
+    while (dashes < tok.size() && tok[dashes] == '-') ++dashes;
+    const std::string t = tok.substr(dashes);
+    auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      if (tok.size() > 1 && tok[0] == '-') {
+        // (insert_or_assign sidesteps GCC 12's -Wrestrict false positive on
+        // map-subscript assignment from a literal, PR105329.)
+        opts.values_.insert_or_assign(t, std::string("1"));  // bare flag
+      } else {
+        opts.positional_.push_back(tok);
+      }
+    } else {
+      opts.values_[t.substr(0, eq)] = t.substr(eq + 1);
+    }
+  }
+  return opts;
+}
+
+std::string Options::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+u64 Options::get_u64(const std::string& key, u64 fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return !(v == "0" || v == "false" || v == "no" || v == "off");
+}
+
+}  // namespace tlrob

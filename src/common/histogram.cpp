@@ -1,0 +1,36 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlrob {
+
+void Histogram::record(u64 value) {
+  const u64 idx = std::min<u64>(value, buckets_.size() - 1);
+  ++buckets_[idx];
+  ++total_;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() != buckets_.size())
+    throw std::invalid_argument("Histogram::merge: bucket count mismatch");
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void Histogram::print(std::ostream& os, const std::string& label) const {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (!label.empty()) os << label << " ";
+    os << i << " " << buckets_[i] << "\n";
+  }
+}
+
+}  // namespace tlrob

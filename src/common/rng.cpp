@@ -1,0 +1,60 @@
+#include "common/rng.hpp"
+
+namespace tlrob {
+namespace {
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(u64 seed) {
+  u64 s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // Avoid the all-zero state, which is a fixed point of xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  if (bound == 0) return 0;
+  // Multiplicative range reduction (Lemire); bias is negligible for the
+  // bounds used in workload generation (<< 2^64).
+  return static_cast<u64>((static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+u64 Rng::between(u64 lo, u64 hi) {
+  return lo + below(hi - lo + 1);
+}
+
+u64 Rng::geometric(double p, u64 cap) {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return cap;
+  u64 n = 1;
+  while (n < cap && !chance(p)) ++n;
+  return n;
+}
+
+}  // namespace tlrob

@@ -1,0 +1,44 @@
+// Small, fast, deterministic PRNG used by workload generators.
+//
+// We deliberately avoid <random> engines in the hot path: workload generation
+// runs once per simulated instruction, and determinism across platforms and
+// standard-library versions matters for reproducible experiments.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tlrob {
+
+/// xoshiro256** — public-domain generator by Blackman & Vigna.
+/// Deterministic for a given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from a 64-bit seed via splitmix64.
+  void reseed(u64 seed);
+
+  /// Next raw 64-bit value.
+  u64 next();
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  u64 below(u64 bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 between(u64 lo, u64 hi);
+
+  /// Geometrically distributed value >= 1 with success probability p
+  /// (mean 1/p), capped at `cap` to bound tail latency in generators.
+  u64 geometric(double p, u64 cap);
+
+ private:
+  u64 state_[4];
+};
+
+}  // namespace tlrob

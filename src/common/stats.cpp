@@ -1,0 +1,21 @@
+#include "common/stats.hpp"
+
+namespace tlrob {
+
+u64 StatGroup::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void StatGroup::reset() {
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, a] : averages_) a.reset();
+}
+
+void StatGroup::print(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) os << name << " " << c.value() << "\n";
+  for (const auto& [name, a] : averages_)
+    os << name << " mean=" << a.mean() << " n=" << a.count() << "\n";
+}
+
+}  // namespace tlrob

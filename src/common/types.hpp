@@ -1,0 +1,40 @@
+// Fundamental scalar types shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace tlrob {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated cycle count.
+using Cycle = u64;
+
+/// Hardware thread (context) identifier within one SMT core.
+using ThreadId = u32;
+
+/// Byte address in the simulated memory space.
+using Addr = u64;
+
+/// Global dynamic-instruction sequence number (age ordering across threads).
+using SeqNum = u64;
+
+/// Architectural register index within the micro-op ISA.
+using ArchReg = u16;
+
+/// Physical register index in the renamed register file.
+using PhysReg = u32;
+
+inline constexpr PhysReg kInvalidPhysReg = std::numeric_limits<PhysReg>::max();
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace tlrob

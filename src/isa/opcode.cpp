@@ -1,0 +1,25 @@
+#include "isa/opcode.hpp"
+
+namespace tlrob {
+
+std::string_view op_class_name(OpClass op) {
+  switch (op) {
+    case OpClass::kIntAlu: return "int_alu";
+    case OpClass::kIntMult: return "int_mult";
+    case OpClass::kIntDiv: return "int_div";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kFpAdd: return "fp_add";
+    case OpClass::kFpMult: return "fp_mult";
+    case OpClass::kFpDiv: return "fp_div";
+    case OpClass::kFpSqrt: return "fp_sqrt";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kJump: return "jump";
+    case OpClass::kCall: return "call";
+    case OpClass::kReturn: return "return";
+    case OpClass::kNop: return "nop";
+  }
+  return "unknown";
+}
+
+}  // namespace tlrob

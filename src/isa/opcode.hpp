@@ -1,0 +1,54 @@
+// Micro-op classes of the synthetic RISC-style ISA.
+//
+// The timing simulator only needs operation *classes* (which functional unit,
+// which latency, load/store/branch behaviour) plus register dataflow; it never
+// needs architectural values. The classes below mirror the function-unit
+// inventory of Table 1 in the paper.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace tlrob {
+
+enum class OpClass : u8 {
+  kIntAlu,   // 1-cycle integer add/logic
+  kIntMult,  // 3-cycle integer multiply
+  kIntDiv,   // 20-cycle unpipelined integer divide
+  kLoad,     // memory load (address from a workload address generator)
+  kStore,    // memory store
+  kFpAdd,    // 2-cycle FP add
+  kFpMult,   // 4-cycle FP multiply
+  kFpDiv,    // 12-cycle unpipelined FP divide
+  kFpSqrt,   // 24-cycle unpipelined FP square root
+  kBranch,   // conditional branch (outcome from a workload branch generator)
+  kJump,     // unconditional direct jump
+  kCall,     // direct call; pushes the return point onto the thread's stack
+  kReturn,   // return; pops the thread's stack (predicted via RAS)
+  kNop,
+};
+
+inline constexpr u32 kNumOpClasses = 14;
+
+/// True for instructions that redirect control flow.
+constexpr bool is_control(OpClass op) {
+  return op == OpClass::kBranch || op == OpClass::kJump || op == OpClass::kCall ||
+         op == OpClass::kReturn;
+}
+
+constexpr bool is_memory(OpClass op) {
+  return op == OpClass::kLoad || op == OpClass::kStore;
+}
+
+/// True for ops whose destination (if any) lives in the FP register file.
+/// Register-class selection is by architectural register index (see
+/// static_inst.hpp); this helper only classifies the computation itself.
+constexpr bool is_fp(OpClass op) {
+  return op == OpClass::kFpAdd || op == OpClass::kFpMult || op == OpClass::kFpDiv ||
+         op == OpClass::kFpSqrt;
+}
+
+std::string_view op_class_name(OpClass op);
+
+}  // namespace tlrob

@@ -1,0 +1,90 @@
+#include "memory/cache.hpp"
+
+#include <stdexcept>
+
+namespace tlrob {
+
+Cache::Cache(std::string name, const CacheGeometry& geo) : name_(std::move(name)), geo_(geo) {
+  if (geo.line_bytes == 0 || (geo.line_bytes & (geo.line_bytes - 1)) != 0)
+    throw std::invalid_argument(name_ + ": line size must be a power of two");
+  const u64 lines = geo.size_bytes / geo.line_bytes;
+  if (geo.ways == 0 || lines % geo.ways != 0)
+    throw std::invalid_argument(name_ + ": line count must divide by ways");
+  sets_ = static_cast<u32>(lines / geo.ways);
+  if ((sets_ & (sets_ - 1)) != 0)
+    throw std::invalid_argument(name_ + ": set count must be a power of two");
+  lines_.resize(lines);
+}
+
+Cache::Line* Cache::find(Addr addr) {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  for (u32 w = 0; w < geo_.ways; ++w) {
+    Line& l = lines_[set * geo_.ways + w];
+    if (l.valid && l.tag == tag) return &l;
+  }
+  return nullptr;
+}
+
+Cache::Probe Cache::probe(Addr addr, Cycle now) {
+  stats_.counter("accesses").inc();
+  Probe p;
+  if (Line* l = find(addr)) {
+    p.present = true;
+    p.ready_at = l->ready_at;
+    p.fill_from_memory = l->fill_from_memory;
+    l->lru = ++stamp_;
+    if (l->ready_at > now) stats_.counter("mshr_merges").inc();
+  } else {
+    stats_.counter("misses").inc();
+  }
+  return p;
+}
+
+bool Cache::fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty) {
+  if (evicted_dirty) *evicted_dirty = false;
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+
+  if (Line* l = find(addr)) {  // refresh an existing/in-flight line
+    l->ready_at = std::max(l->ready_at, ready_at);
+    return true;
+  }
+
+  // Victimise the LRU line whose fill has completed; in-flight lines are
+  // locked. If every way is in flight, the access bypasses this level.
+  Line* victim = nullptr;
+  for (u32 w = 0; w < geo_.ways; ++w) {
+    Line& l = lines_[set * geo_.ways + w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.ready_at > now) continue;
+    if (victim == nullptr || l.lru < victim->lru) victim = &l;
+  }
+  if (victim == nullptr) {
+    stats_.counter("fill_bypass").inc();
+    return false;
+  }
+  if (victim->valid && victim->dirty && evicted_dirty) *evicted_dirty = true;
+  if (victim->valid) stats_.counter("evictions").inc();
+  victim->valid = true;
+  victim->tag = tag;
+  victim->ready_at = ready_at;
+  victim->dirty = false;
+  victim->fill_from_memory = from_memory;
+  victim->lru = ++stamp_;
+  return true;
+}
+
+void Cache::mark_dirty(Addr addr) {
+  if (Line* l = find(addr)) l->dirty = true;
+}
+
+void Cache::clear() {
+  for (auto& l : lines_) l = Line{};
+  stamp_ = 0;
+}
+
+}  // namespace tlrob

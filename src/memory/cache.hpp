@@ -1,0 +1,80 @@
+// Set-associative cache with a latency-chain ("ready-at") timing model.
+//
+// Instead of discrete fill events, every line carries the cycle at which its
+// data becomes available. A line whose ready_at lies in the future is an
+// in-flight fill: a new access to it *merges* (MSHR behaviour) and completes
+// when the fill does. This models non-blocking caches with per-line MSHRs at
+// a fraction of the implementation cost of an event-driven cache, while
+// preserving the properties the paper's mechanism depends on — overlapping
+// misses, secondary-miss merging, and the visibility of "this access had to
+// go to memory".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace tlrob {
+
+struct CacheGeometry {
+  u64 size_bytes = 32 << 10;
+  u32 ways = 4;
+  u32 line_bytes = 32;
+  u32 hit_latency = 1;
+};
+
+class Cache {
+ public:
+  Cache(std::string name, const CacheGeometry& geo);
+
+  struct Probe {
+    bool present = false;     // tag match (line resident or in flight)
+    Cycle ready_at = 0;       // when the line's data is/was available
+    bool fill_from_memory = false;  // in-flight fill originates at DRAM
+  };
+
+  /// Tag lookup at cycle `now`; touches LRU on a match.
+  Probe probe(Addr addr, Cycle now);
+
+  /// Installs `addr`'s line with data arriving at `ready_at`. Returns true
+  /// if a line was allocated; false when every way of the set holds an
+  /// in-flight fill (the access then bypasses this level). The evicted dirty
+  /// line, if any, is reported through `evicted_dirty`.
+  bool fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty);
+
+  /// Marks the line dirty (stores). No-op if absent.
+  void mark_dirty(Addr addr);
+
+  /// Invalidates everything (used between experiment phases).
+  void clear();
+
+  const CacheGeometry& geometry() const { return geo_; }
+  u32 sets() const { return sets_; }
+  const std::string& name() const { return name_; }
+  StatGroup& stats() { return stats_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    u64 tag = 0;
+    Cycle ready_at = 0;
+    bool dirty = false;
+    bool fill_from_memory = false;
+    u64 lru = 0;
+  };
+
+  u64 set_of(Addr addr) const { return (addr / geo_.line_bytes) & (sets_ - 1); }
+  u64 tag_of(Addr addr) const { return (addr / geo_.line_bytes) / sets_; }
+  Line* find(Addr addr);
+
+  std::string name_;
+  CacheGeometry geo_;
+  u32 sets_;
+  std::vector<Line> lines_;
+  u64 stamp_ = 0;
+  StatGroup stats_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,44 @@
+#include "memory/memory_channel.hpp"
+
+#include <algorithm>
+
+namespace tlrob {
+
+MemoryChannel::MemoryChannel(const MemoryChannelConfig& cfg) : cfg_(cfg) {
+  const u32 unit = cfg.critical_bytes > 0 ? std::min(cfg.critical_bytes, cfg.line_bytes)
+                                          : cfg.line_bytes;
+  const u32 chunks = std::max<u32>(1, unit / std::max<u32>(1, cfg.bus_bytes));
+  transfer_ = static_cast<Cycle>(chunks) * cfg.interchunk;
+}
+
+Cycle MemoryChannel::admit(Cycle when) {
+  while (!outstanding_.empty() && outstanding_.top() <= when) outstanding_.pop();
+  if (outstanding_.size() < cfg_.mshr_entries) return when;
+  const Cycle start = outstanding_.top();
+  stats_.counter("mshr_full_stalls").inc();
+  return start;
+}
+
+Cycle MemoryChannel::request_fill(Cycle when) {
+  const Cycle start = admit(when);
+  // DRAM access proceeds in parallel across banks; the bus serialises the
+  // line transfers.
+  const Cycle transfer_start = std::max(start + cfg_.first_chunk, bus_free_);
+  const Cycle done = transfer_start + transfer_;
+  bus_free_ = done;
+  outstanding_.push(done);
+  stats_.counter("fills").inc();
+  return done;
+}
+
+void MemoryChannel::request_writeback(Cycle when) {
+  bus_free_ = std::max(bus_free_, when) + transfer_;
+  stats_.counter("writebacks").inc();
+}
+
+void MemoryChannel::reset() {
+  bus_free_ = 0;
+  while (!outstanding_.empty()) outstanding_.pop();
+}
+
+}  // namespace tlrob

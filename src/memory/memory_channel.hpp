@@ -1,0 +1,61 @@
+// Main-memory channel (Table 1: 64-bit wide bus, 500-cycle first-chunk
+// access, 2-cycle interchunk).
+//
+// DRAM access latency overlaps across outstanding misses (banked memory);
+// the data bus serialises line transfers; a bounded MSHR pool limits the
+// number of fills in flight. Together these give memory-level parallelism
+// with the diminishing returns the paper's MLP argument relies on.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace tlrob {
+
+struct MemoryChannelConfig {
+  u32 bus_bytes = 8;           // 64-bit wide
+  Cycle first_chunk = 500;     // access latency to the first chunk
+  Cycle interchunk = 2;        // per additional chunk
+  u32 line_bytes = 128;        // L2 line (transfer unit)
+  /// Critical-chunk-first delivery: the requester is unblocked once this
+  /// many bytes have arrived (one L1-D line); the rest of the L2 line
+  /// streams in the background without serialising later fills. 0 disables
+  /// (full-line occupancy, the pessimistic model).
+  u32 critical_bytes = 32;
+  u32 mshr_entries = 24;       // outstanding line fills
+};
+
+class MemoryChannel {
+ public:
+  explicit MemoryChannel(const MemoryChannelConfig& cfg);
+
+  /// Requests a full-line fill at cycle `when`; returns the cycle at which
+  /// the complete line has arrived.
+  Cycle request_fill(Cycle when);
+
+  /// Queues a dirty-line writeback: occupies bus bandwidth but nobody waits
+  /// for it.
+  void request_writeback(Cycle when);
+
+  /// Transfer time of one line over the bus.
+  Cycle transfer_cycles() const { return transfer_; }
+
+  StatGroup& stats() { return stats_; }
+  void reset();
+
+ private:
+  /// Drops completed fills and returns the earliest outstanding completion
+  /// (or `when` if the MSHR pool has room).
+  Cycle admit(Cycle when);
+
+  MemoryChannelConfig cfg_;
+  Cycle transfer_;
+  Cycle bus_free_ = 0;
+  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> outstanding_;
+  StatGroup stats_;
+};
+
+}  // namespace tlrob

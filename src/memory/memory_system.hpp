@@ -1,0 +1,74 @@
+// The full hierarchy of Table 1: split L1I/L1D, unified L2, memory channel.
+//
+// Data accesses are resolved with the latency-chain model: the entire path of
+// an access is computed at issue time and returned as absolute cycles; cache
+// line state carries in-flight fills so later accesses merge correctly.
+#pragma once
+
+#include <memory>
+
+#include "memory/cache.hpp"
+#include "memory/memory_channel.hpp"
+
+namespace tlrob {
+
+struct MemoryConfig {
+  CacheGeometry l1i{64 << 10, 2, 64, 1};    // 64 KB, 2-way, 64 B, 1 cycle
+  CacheGeometry l1d{32 << 10, 4, 32, 1};    // 32 KB, 4-way, 32 B, 1 cycle
+  CacheGeometry l2{2 << 20, 8, 128, 10};    // 2 MB, 8-way, 128 B, 10 cycles
+  MemoryChannelConfig channel{};
+};
+
+/// Timing outcome of one data access.
+struct DataAccess {
+  Cycle data_ready = 0;       // absolute cycle the value is available
+  bool l1_hit = false;        // data was ready in L1 at lookup time
+  bool l2_miss = false;       // the access (or the fill it merged into) went to memory
+  Cycle l2_miss_detect = 0;   // cycle at which the L2 miss is discovered
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemoryConfig& cfg);
+
+  /// Data-side access issued at cycle `now` (address generation already
+  /// accounted by the caller). Stores follow the same fill path (write-
+  /// allocate) and dirty the line.
+  DataAccess access_data(Addr addr, bool is_store, Cycle now);
+
+  /// Instruction fetch of the line containing `pc`; returns the cycle the
+  /// line is available (== now for an L1I hit, since Table 1's 1-cycle hit
+  /// is part of the fetch stage itself).
+  Cycle access_inst(Addr pc, Cycle now);
+
+  /// Architectural cache pre-warming: installs the lines of
+  /// [base, base+bytes) as instantly-ready and clean, bypassing the channel.
+  /// Used before measurement so that cache-resident working sets start
+  /// resident (the stand-in for Simpoint functional warming); touch order is
+  /// LRU order, so content touched later survives capacity pressure. A
+  /// region's frequently-reused prefix of `hot_prefix_bytes` is warmed last.
+  void prewarm_region(Addr base, u64 bytes, u64 hot_prefix_bytes = 0);
+
+  Cache& l1i() { return *l1i_; }
+  Cache& l1d() { return *l1d_; }
+  Cache& l2() { return *l2_; }
+  MemoryChannel& channel() { return *channel_; }
+  const MemoryConfig& config() const { return cfg_; }
+
+ private:
+  /// Looks up the L2 at `when`; returns when the line (containing `addr`)
+  /// can be delivered upward, and whether memory was involved.
+  struct L2Result {
+    Cycle ready;
+    bool from_memory;
+  };
+  L2Result access_l2(Addr addr, Cycle when);
+
+  MemoryConfig cfg_;
+  std::unique_ptr<Cache> l1i_;
+  std::unique_ptr<Cache> l1d_;
+  std::unique_ptr<Cache> l2_;
+  std::unique_ptr<MemoryChannel> channel_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,83 @@
+// In-flight dynamic instruction record. The per-thread ROB owns these; every
+// other structure (issue queue, LSQ, functional units, event queue) refers to
+// them either by stable pointer (within a cycle) or by (tid, tseq) reference
+// that is re-resolved through the ROB (across cycles, surviving squashes).
+#pragma once
+
+#include "branch/predictor.hpp"
+#include "common/types.hpp"
+#include "isa/static_inst.hpp"
+
+namespace tlrob {
+
+struct DynInst {
+  // -- identity -----------------------------------------------------------
+  SeqNum seq = 0;    // global fetch order (age comparisons across threads)
+  u64 tseq = 0;      // per-thread program order; never reused, so (tid,tseq)
+                     // is a stable reference even across squashes
+  ThreadId tid = 0;
+  const StaticInst* si = nullptr;
+  OpClass op = OpClass::kNop;
+  Addr pc = 0;
+  bool wrong_path = false;
+
+  // -- architectural outcome (wrong-path ops carry synthetic values) -------
+  Addr mem_addr = 0;
+  bool taken = false;       // control: actual direction
+  Addr actual_target = 0;   // control: actual next PC
+
+  // -- front-end prediction -------------------------------------------------
+  BranchPrediction pred;
+  bool mispredicted = false;  // set at fetch for correct-path ops whose
+                              // prediction disagrees with the outcome
+
+  // -- rename ----------------------------------------------------------------
+  PhysReg src_phys[2] = {kInvalidPhysReg, kInvalidPhysReg};
+  PhysReg dest_phys = kInvalidPhysReg;
+  PhysReg prev_dest_phys = kInvalidPhysReg;
+  bool prev_freed_early = false;  // L2-miss-driven early register release
+
+  // -- status ------------------------------------------------------------------
+  bool dispatched = false;
+  bool in_iq = false;       // occupies an issue-queue slot
+  bool issued = false;
+  bool executed = false;    // "result valid" bit — exactly what the paper's
+                            // DoD counter scans
+  bool branch_resolved = false;
+  u32 replay_gen = 0;       // bumped when a speculatively issued op replays;
+                            // stale completion events compare and drop
+
+  // -- memory ops ----------------------------------------------------------
+  bool lsq_allocated = false;
+  bool addr_resolved = false;   // store address known (gates younger loads)
+  bool l1_hit = false;
+  bool is_l2_miss = false;      // long-latency load
+  bool l1_counted = false;      // contributes to the thread's outstanding-L1 count
+  bool l2_counted = false;
+  Cycle l2_miss_detect_cycle = kNeverCycle;
+  Cycle fill_cycle = kNeverCycle;
+
+  // -- speculative scheduling ------------------------------------------------
+  bool spec_used[2] = {false, false};  // issued on a speculatively-ready source
+
+  // -- bookkeeping -----------------------------------------------------------
+  Cycle fetch_cycle = 0;
+  Cycle dispatch_cycle = 0;
+  Cycle issue_cycle = 0;
+  Cycle complete_cycle = kNeverCycle;
+  int iq_slot = -1;
+
+  bool is_load() const { return op == OpClass::kLoad; }
+  bool is_store() const { return op == OpClass::kStore; }
+  bool is_mem() const { return is_memory(op); }
+  bool is_ctrl() const { return is_control(op); }
+};
+
+/// Cross-cycle reference to an in-flight instruction.
+struct InstRef {
+  ThreadId tid = 0;
+  u64 tseq = 0;
+  u32 replay_gen = 0;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,58 @@
+// SMT fetch policies: round-robin, ICOUNT, STALL, FLUSH, and DCRA-gated
+// ICOUNT (the paper's baseline).
+//
+// A policy does two things each cycle: ranks threads for fetch priority and
+// vetoes fetching for threads it wants gated. FLUSH additionally asks the
+// core to squash a thread's post-miss instructions when an L2 miss is
+// detected (implemented in the core as un-dispatch; see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob {
+
+enum class FetchPolicyKind : u8 { kRoundRobin, kIcount, kStall, kFlush, kDcra };
+
+/// Per-thread snapshot handed to policies each cycle.
+struct ThreadFetchView {
+  u32 frontend_count = 0;   // fetched, not yet dispatched
+  u32 iq_count = 0;         // occupying issue-queue slots
+  u32 outstanding_l1 = 0;   // in-flight loads that missed L1
+  u32 outstanding_l2 = 0;   // in-flight loads that missed L2
+  bool active = true;
+};
+
+class DcraController;
+
+class FetchPolicy {
+ public:
+  virtual ~FetchPolicy() = default;
+
+  /// Returns thread ids highest-priority first.
+  virtual std::vector<ThreadId> order(const std::vector<ThreadFetchView>& views,
+                                      Cycle now) = 0;
+
+  /// Gate: false forbids fetching for the thread this cycle.
+  virtual bool may_fetch(ThreadId tid, const std::vector<ThreadFetchView>& views) {
+    (void)tid;
+    (void)views;
+    return true;
+  }
+
+  /// FLUSH-style policies return true: the core squashes a thread's
+  /// instructions younger than a load when its L2 miss is detected.
+  virtual bool flush_on_l2_miss() const { return false; }
+
+  virtual FetchPolicyKind kind() const = 0;
+
+  /// Factory. `dcra` must outlive the policy for kDcra and may be null
+  /// otherwise.
+  static std::unique_ptr<FetchPolicy> create(FetchPolicyKind kind, DcraController* dcra);
+};
+
+const char* fetch_policy_name(FetchPolicyKind kind);
+
+}  // namespace tlrob

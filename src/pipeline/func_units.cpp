@@ -1,0 +1,53 @@
+#include "pipeline/func_units.hpp"
+
+namespace tlrob {
+
+FuncUnitPool::FuncUnitPool() {
+  busy_until_[kIntAdd].assign(8, 0);
+  busy_until_[kIntMulDiv].assign(4, 0);
+  busy_until_[kLoadStore].assign(4, 0);
+  busy_until_[kFpAddG].assign(8, 0);
+  busy_until_[kFpMulDiv].assign(4, 0);
+
+  auto set = [this](OpClass op, Group g, Cycle lat, Cycle intv) {
+    group_map_[static_cast<u32>(op)] = g;
+    timing_[static_cast<u32>(op)] = OpTiming{lat, intv};
+  };
+  set(OpClass::kIntAlu, kIntAdd, 1, 1);
+  set(OpClass::kIntMult, kIntMulDiv, 3, 1);
+  set(OpClass::kIntDiv, kIntMulDiv, 20, 19);
+  set(OpClass::kLoad, kLoadStore, 2, 1);   // hit latency; misses via the memory path
+  set(OpClass::kStore, kLoadStore, 2, 1);
+  set(OpClass::kFpAdd, kFpAddG, 2, 1);
+  set(OpClass::kFpMult, kFpMulDiv, 4, 1);
+  set(OpClass::kFpDiv, kFpMulDiv, 12, 12);
+  set(OpClass::kFpSqrt, kFpMulDiv, 24, 24);
+  set(OpClass::kBranch, kIntAdd, 1, 1);
+  set(OpClass::kJump, kIntAdd, 1, 1);
+  set(OpClass::kCall, kIntAdd, 1, 1);
+  set(OpClass::kReturn, kIntAdd, 1, 1);
+  set(OpClass::kNop, kIntAdd, 1, 1);
+}
+
+bool FuncUnitPool::can_issue(OpClass op, Cycle now) const {
+  for (Cycle busy : busy_until_[group_of(op)])
+    if (busy <= now) return true;
+  return false;
+}
+
+Cycle FuncUnitPool::issue(OpClass op, Cycle now) {
+  const OpTiming& t = timing_[static_cast<u32>(op)];
+  for (Cycle& busy : busy_until_[group_of(op)]) {
+    if (busy <= now) {
+      busy = now + t.interval;
+      return now + t.latency;
+    }
+  }
+  return now + t.latency;  // unreachable when can_issue() was honoured
+}
+
+u32 FuncUnitPool::group_size(OpClass op) const {
+  return static_cast<u32>(busy_until_[group_of(op)].size());
+}
+
+}  // namespace tlrob

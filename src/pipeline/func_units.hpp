@@ -1,0 +1,46 @@
+// Functional-unit pool per Table 1:
+//   8 Int Add (1/1), 4 Int Mult (3/1) / Div (20/19), 4 Load/Store (2/1),
+//   8 FP Add (2/1), 4 FP Mult (4/1) / Div (12/12) / Sqrt (24/24).
+// "(latency / issue interval)": an unpipelined op reserves its unit for the
+// issue interval; a pipelined one (interval 1) frees it the next cycle.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace tlrob {
+
+struct OpTiming {
+  Cycle latency = 1;
+  Cycle interval = 1;  // cycles the unit stays reserved
+};
+
+class FuncUnitPool {
+ public:
+  /// Builds the Table 1 configuration.
+  FuncUnitPool();
+
+  /// True if a unit capable of `op` is free at `now`.
+  bool can_issue(OpClass op, Cycle now) const;
+
+  /// Reserves a unit and returns the completion cycle. Requires can_issue().
+  Cycle issue(OpClass op, Cycle now);
+
+  const OpTiming& timing(OpClass op) const { return timing_[static_cast<u32>(op)]; }
+
+  /// Number of units in the group executing `op`.
+  u32 group_size(OpClass op) const;
+
+ private:
+  enum Group : u8 { kIntAdd, kIntMulDiv, kLoadStore, kFpAddG, kFpMulDiv, kNumGroups };
+  Group group_of(OpClass op) const { return group_map_[static_cast<u32>(op)]; }
+
+  std::array<std::vector<Cycle>, kNumGroups> busy_until_;  // per-unit reservation
+  std::array<Group, kNumOpClasses> group_map_{};
+  std::array<OpTiming, kNumOpClasses> timing_{};
+};
+
+}  // namespace tlrob

@@ -1,0 +1,36 @@
+#include "pipeline/issue_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tlrob {
+
+IssueQueue::IssueQueue(u32 entries, u32 num_threads)
+    : slots_(entries, nullptr), per_thread_(num_threads, 0), free_(entries) {}
+
+void IssueQueue::insert(DynInst* di) {
+  if (free_ == 0) throw std::logic_error("IssueQueue::insert on full queue");
+  for (u32 i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] == nullptr) {
+      slots_[i] = di;
+      di->iq_slot = static_cast<int>(i);
+      di->in_iq = true;
+      --free_;
+      ++per_thread_[di->tid];
+      return;
+    }
+  }
+  assert(false && "free_ count out of sync");
+}
+
+void IssueQueue::remove(DynInst* di) {
+  if (!di->in_iq) return;
+  assert(di->iq_slot >= 0 && slots_[static_cast<u32>(di->iq_slot)] == di);
+  slots_[static_cast<u32>(di->iq_slot)] = nullptr;
+  di->in_iq = false;
+  di->iq_slot = -1;
+  ++free_;
+  --per_thread_[di->tid];
+}
+
+}  // namespace tlrob

@@ -1,0 +1,55 @@
+// Shared out-of-order issue queue (Table 1: 64 entries shared by all
+// threads).
+//
+// The queue is a slot container with per-thread occupancy accounting (DCRA
+// and ICOUNT read it). Scheduling policy — oldest-first among ready — lives
+// in the core's issue stage; speculative-wakeup replay support lives here:
+// instructions issued on a speculatively-ready source keep their slot until
+// the speculation confirms, and are re-armed if it does not.
+#pragma once
+
+#include <vector>
+
+#include "pipeline/dyn_inst.hpp"
+
+namespace tlrob {
+
+class IssueQueue {
+ public:
+  IssueQueue(u32 entries, u32 num_threads);
+
+  bool has_free() const { return free_ > 0; }
+  u32 capacity() const { return static_cast<u32>(slots_.size()); }
+  u32 occupancy() const { return capacity() - free_; }
+  u32 occupancy(ThreadId t) const { return per_thread_[t]; }
+
+  /// Inserts a dispatched instruction; requires has_free().
+  void insert(DynInst* di);
+
+  /// Releases the instruction's slot (issue confirmation or squash).
+  void remove(DynInst* di);
+
+  /// Invokes f(DynInst&) for every occupied slot.
+  template <typename F>
+  void for_each(F&& f) {
+    for (DynInst* di : slots_)
+      if (di != nullptr) f(*di);
+  }
+
+  /// Collects occupied entries matching a predicate (used by squash and by
+  /// the issue stage's candidate scan).
+  template <typename Pred>
+  std::vector<DynInst*> collect(Pred&& pred) {
+    std::vector<DynInst*> out;
+    for (DynInst* di : slots_)
+      if (di != nullptr && pred(*di)) out.push_back(di);
+    return out;
+  }
+
+ private:
+  std::vector<DynInst*> slots_;
+  std::vector<u32> per_thread_;
+  u32 free_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,52 @@
+#include "pipeline/lsq.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tlrob {
+
+void LoadStoreQueue::push(DynInst* di) {
+  if (!has_free()) throw std::logic_error("LoadStoreQueue::push on full queue");
+  assert(entries_.empty() || entries_.back()->tseq < di->tseq);
+  entries_.push_back(di);
+  di->lsq_allocated = true;
+}
+
+void LoadStoreQueue::pop(DynInst* di) {
+  if (entries_.empty() || entries_.front() != di)
+    throw std::logic_error("LoadStoreQueue::pop out of order");
+  entries_.pop_front();
+  di->lsq_allocated = false;
+}
+
+void LoadStoreQueue::squash_after(u64 tseq) {
+  while (!entries_.empty() && entries_.back()->tseq > tseq) {
+    entries_.back()->lsq_allocated = false;
+    entries_.pop_back();
+  }
+}
+
+bool LoadStoreQueue::overlap(const DynInst& a, const DynInst& b) {
+  constexpr u32 kAccessBytes = 8;  // fixed access granularity of the ISA
+  return a.mem_addr < b.mem_addr + kAccessBytes && b.mem_addr < a.mem_addr + kAccessBytes;
+}
+
+bool LoadStoreQueue::older_stores_resolved(const DynInst& load) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const DynInst* e = *it;
+    if (e->tseq >= load.tseq) continue;
+    if (e->is_store() && !e->addr_resolved) return false;
+  }
+  return true;
+}
+
+DynInst* LoadStoreQueue::forwarding_store(const DynInst& load) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    DynInst* e = *it;
+    if (e->tseq >= load.tseq) continue;
+    if (e->is_store() && e->addr_resolved && overlap(*e, load)) return e;
+  }
+  return nullptr;
+}
+
+}  // namespace tlrob

@@ -1,0 +1,46 @@
+// Per-thread load/store queue (Table 1: 48 entries per thread).
+//
+// Memory disambiguation is conservative: a load may issue only once every
+// older store in its thread has resolved its address; if the youngest older
+// store with an overlapping address has issued, the load forwards from it
+// (1-cycle store-to-load forward) instead of accessing the cache.
+#pragma once
+
+#include <deque>
+
+#include "pipeline/dyn_inst.hpp"
+
+namespace tlrob {
+
+class LoadStoreQueue {
+ public:
+  explicit LoadStoreQueue(u32 entries) : capacity_(entries) {}
+
+  bool has_free() const { return entries_.size() < capacity_; }
+  u32 capacity() const { return capacity_; }
+  u32 occupancy() const { return static_cast<u32>(entries_.size()); }
+
+  /// Dispatch inserts in program order.
+  void push(DynInst* di);
+
+  /// Commit releases the (oldest) entry of `di`.
+  void pop(DynInst* di);
+
+  /// Squash: drops every entry with tseq > `tseq`.
+  void squash_after(u64 tseq);
+
+  /// True if every store older than `load` has a resolved address.
+  bool older_stores_resolved(const DynInst& load) const;
+
+  /// Youngest older store whose address range overlaps the load's; nullptr
+  /// if none. Only meaningful once older_stores_resolved().
+  DynInst* forwarding_store(const DynInst& load) const;
+
+ private:
+  static bool overlap(const DynInst& a, const DynInst& b);
+
+  std::deque<DynInst*> entries_;  // program order (oldest at front)
+  u32 capacity_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,106 @@
+#include "pipeline/rename.hpp"
+
+#include <stdexcept>
+
+namespace tlrob {
+
+RenameUnit::RenameUnit(const RenameConfig& cfg) : cfg_(cfg) {
+  const u32 pools = cfg.shared ? 1 : cfg.num_threads;
+  const u32 arch_per_pool_int = (cfg.shared ? cfg.num_threads : 1) * kNumIntArchRegs;
+  const u32 arch_per_pool_fp = (cfg.shared ? cfg.num_threads : 1) * kNumFpArchRegs;
+  if (cfg.int_regs <= arch_per_pool_int || cfg.fp_regs <= arch_per_pool_fp)
+    throw std::invalid_argument(
+        "RenameUnit: physical registers must exceed committed architectural state");
+
+  const u32 total = pools * (cfg.int_regs + cfg.fp_regs);
+  state_.assign(total, RegState::kReady);
+  spec_at_.assign(total, 0);
+  readers_.assign(total, 0);
+  is_fp_phys_.assign(total, false);
+  int_use_.assign(cfg.num_threads, 0);
+  fp_use_.assign(cfg.num_threads, 0);
+  free_int_.resize(pools);
+  free_fp_.resize(pools);
+
+  // Physical layout: per pool, the integer file then the FP file. The low
+  // registers of each file hold the committed architectural state.
+  rat_.assign(cfg.num_threads, std::vector<PhysReg>(kNumArchRegs, kInvalidPhysReg));
+  for (u32 p = 0; p < pools; ++p) {
+    const PhysReg int_base = p * (cfg.int_regs + cfg.fp_regs);
+    const PhysReg fp_base = int_base + cfg.int_regs;
+    for (PhysReg r = fp_base; r < int_base + cfg.int_regs + cfg.fp_regs; ++r)
+      is_fp_phys_[r] = true;
+
+    u32 next_int = int_base;
+    u32 next_fp = fp_base;
+    for (u32 t = 0; t < cfg.num_threads; ++t) {
+      if (pool(t) != p) continue;
+      for (u32 r = 0; r < kNumIntArchRegs; ++r) rat_[t][r] = next_int++;
+      for (u32 r = 0; r < kNumFpArchRegs; ++r) rat_[t][kNumIntArchRegs + r] = next_fp++;
+    }
+    for (PhysReg r = next_int; r < fp_base; ++r) free_int_[p].push_back(r);
+    for (PhysReg r = next_fp; r < int_base + cfg.int_regs + cfg.fp_regs; ++r)
+      free_fp_[p].push_back(r);
+  }
+}
+
+bool RenameUnit::can_rename(ThreadId tid, const StaticInst& si) const {
+  if (!si.has_dest()) return true;
+  return is_fp_reg(si.dest) ? !free_fp_[pool(tid)].empty() : !free_int_[pool(tid)].empty();
+}
+
+PhysReg RenameUnit::alloc(bool fp, ThreadId t) {
+  auto& fl = fp ? free_fp_[pool(t)] : free_int_[pool(t)];
+  const PhysReg r = fl.back();
+  fl.pop_back();
+  (fp ? fp_use_ : int_use_)[t] += 1;
+  return r;
+}
+
+void RenameUnit::release(PhysReg r, ThreadId t) {
+  const bool fp = is_fp_phys_[r];
+  (fp ? free_fp_[pool(t)] : free_int_[pool(t)]).push_back(r);
+  u32& use = (fp ? fp_use_ : int_use_)[t];
+  if (use > 0) --use;
+  state_[r] = RegState::kReady;  // free regs are inert; reset for reuse
+}
+
+void RenameUnit::rename(DynInst& di) {
+  const StaticInst& si = *di.si;
+  for (u32 s = 0; s < 2; ++s) {
+    di.src_phys[s] = si.src[s] == kNoReg ? kInvalidPhysReg : rat_[di.tid][si.src[s]];
+    if (di.src_phys[s] != kInvalidPhysReg) ++readers_[di.src_phys[s]];
+  }
+  if (si.has_dest()) {
+    di.prev_dest_phys = rat_[di.tid][si.dest];
+    di.dest_phys = alloc(is_fp_reg(si.dest), di.tid);
+    state_[di.dest_phys] = RegState::kNotReady;
+    rat_[di.tid][si.dest] = di.dest_phys;
+  }
+}
+
+void RenameUnit::commit_free(const DynInst& di) {
+  if (di.prev_dest_phys != kInvalidPhysReg && !di.prev_freed_early)
+    release(di.prev_dest_phys, di.tid);
+}
+
+void RenameUnit::early_free_prev(DynInst& di) {
+  release(di.prev_dest_phys, di.tid);
+  di.prev_freed_early = true;
+}
+
+void RenameUnit::consumers_read(const DynInst& di) {
+  for (PhysReg s : di.src_phys)
+    if (s != kInvalidPhysReg && readers_[s] > 0) --readers_[s];
+}
+
+void RenameUnit::consumers_cancel(const DynInst& di) { consumers_read(di); }
+
+void RenameUnit::squash_undo(const DynInst& di) {
+  if (di.dest_phys != kInvalidPhysReg) {
+    rat_[di.tid][di.si->dest] = di.prev_dest_phys;
+    release(di.dest_phys, di.tid);
+  }
+}
+
+}  // namespace tlrob

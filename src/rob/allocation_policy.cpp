@@ -1,0 +1,232 @@
+#include "rob/allocation_policy.hpp"
+
+#include <algorithm>
+
+namespace tlrob {
+
+const char* rob_scheme_name(RobScheme scheme) {
+  switch (scheme) {
+    case RobScheme::kBaseline: return "baseline";
+    case RobScheme::kReactive: return "r-rob";
+    case RobScheme::kRelaxedReactive: return "relaxed-r-rob";
+    case RobScheme::kCdr: return "cdr-rob";
+    case RobScheme::kPredictive: return "p-rob";
+    case RobScheme::kAdaptive: return "adaptive-rob";
+  }
+  return "unknown";
+}
+
+TwoLevelRobController::TwoLevelRobController(const RobPolicyConfig& cfg,
+                                             std::vector<ReorderBuffer*> robs,
+                                             SecondLevelRob& second)
+    : cfg_(cfg), robs_(std::move(robs)), second_(second), threads_(robs_.size()) {
+  if (cfg.scheme == RobScheme::kPredictive)
+    predictor_ = std::make_unique<DodPredictor>(cfg.predictor_entries);
+}
+
+u32 TwoLevelRobController::dod_count(ThreadId tid, u64 tseq) const {
+  // The hardware scans the first-level window following the load.
+  return robs_[tid]->count_unexecuted_younger(tseq, robs_[tid]->base_capacity());
+}
+
+void TwoLevelRobController::acquire(ThreadId tid, u64 tseq, Cycle now) {
+  if (second_.available()) {
+    second_.allocate(tid, now);
+    robs_[tid]->grant_extra(second_.entries());
+    stats_.counter("allocations").inc();
+    stats_.counter("allocations.t" + std::to_string(tid)).inc();
+  } else if (second_.owned_by(tid)) {
+    // Renewal: a drain (revoked extra, waiting for release) can be re-armed
+    // by a fresh qualifying miss while the lease lasts.
+    robs_[tid]->grant_extra(second_.entries());
+  }
+  threads_[tid].trigger_tseq = tseq;
+  threads_[tid].has_trigger = true;
+  stats_.counter("lease_grants_or_renewals").inc();
+}
+
+void TwoLevelRobController::maybe_release(ThreadId tid, Cycle now) {
+  if (!second_.owned_by(tid)) return;
+  ThreadState& ts = threads_[tid];
+  ReorderBuffer& rob = *robs_[tid];
+
+  bool trigger_live = false;
+  if (ts.has_trigger) {
+    if (DynInst* t = rob.find(ts.trigger_tseq))
+      trigger_live = !t->executed;  // still waiting on the miss
+  }
+  if (trigger_live) return;
+
+  // No justifying miss: stop dispatching into the second level and drain.
+  rob.revoke_extra();
+  ts.has_trigger = false;
+  if (rob.size() > rob.base_capacity()) return;  // drain back into level 1 first
+
+  stats_.counter("busy.t" + std::to_string(tid)).inc(now - second_.acquired_at());
+  // The cooldown exists to rotate the partition among contenders; with no
+  // other thread waiting for it, re-acquisition is free.
+  bool contended = false;
+  for (u32 o = 0; o < threads_.size(); ++o)
+    if (o != tid && !threads_[o].cands.empty()) contended = true;
+  ts.cooldown_until = contended ? now + cfg_.lease_cooldown : now;
+  second_.release(now);
+  stats_.counter("releases").inc();
+}
+
+bool TwoLevelRobController::lease_expired(ThreadId tid, Cycle now) const {
+  return second_.owned_by(tid) && now >= second_.acquired_at() + cfg_.lease_limit;
+}
+
+void TwoLevelRobController::on_l2_miss_detected(DynInst& load, Cycle now) {
+  if (cfg_.scheme == RobScheme::kBaseline || cfg_.scheme == RobScheme::kAdaptive) return;
+  if (load.wrong_path) return;
+  const ThreadId tid = load.tid;
+  ThreadState& ts = threads_[tid];
+  stats_.counter("l2_miss_candidates").inc();
+
+  if (cfg_.scheme == RobScheme::kPredictive) {
+    const auto pred = predictor_->predict(tid, load.pc);
+    if (pred.has_value()) {
+      stats_.counter("predictions").inc();
+      const bool can_acquire_fresh = second_.available() && now >= ts.cooldown_until;
+      const bool can_renew = second_.owned_by(tid) && !lease_expired(tid, now);
+      if (*pred < cfg_.dod_threshold && (can_acquire_fresh || can_renew)) {
+        acquire(tid, load.tseq, now);
+        stats_.counter("predictive_allocations").inc();
+      }
+    } else {
+      stats_.counter("prediction_cold_misses").inc();
+    }
+    // Track for verification at fill regardless of the decision.
+    ts.cands.push_back({load.tseq, now, kNeverCycle, false});
+    return;
+  }
+
+  const Cycle first_check =
+      cfg_.scheme == RobScheme::kCdr ? now + cfg_.cdr_delay : now;
+  ts.cands.push_back({load.tseq, now, first_check, false});
+}
+
+void TwoLevelRobController::on_load_fill(DynInst& load, Cycle now) {
+  if (cfg_.scheme == RobScheme::kBaseline || cfg_.scheme == RobScheme::kAdaptive) return;
+  if (load.wrong_path) return;
+  const ThreadId tid = load.tid;
+  ThreadState& ts = threads_[tid];
+
+  if (cfg_.scheme == RobScheme::kPredictive) {
+    // §4.2: the actual count is taken shortly before the miss service
+    // completes, verifies the prediction and trains the predictor.
+    const u32 actual = dod_count(tid, load.tseq);
+    predictor_->update(tid, load.pc, actual);
+    if (second_.owned_by(tid) && ts.has_trigger && ts.trigger_tseq == load.tseq &&
+        actual >= cfg_.dod_threshold) {
+      stats_.counter("verification_failures").inc();
+      ts.has_trigger = false;  // lease no longer justified; release on drain
+    }
+  }
+
+  ts.cands.erase(std::remove_if(ts.cands.begin(), ts.cands.end(),
+                                [&](const Candidate& c) { return c.tseq == load.tseq; }),
+                 ts.cands.end());
+  maybe_release(tid, now);
+}
+
+bool TwoLevelRobController::evaluate(ThreadId tid, Candidate& c, Cycle now) {
+  ReorderBuffer& rob = *robs_[tid];
+  DynInst* load = rob.find(c.tseq);
+  if (load == nullptr || load->executed) return true;  // gone or filled
+
+  const bool can_acquire_fresh = second_.available() && now >= threads_[tid].cooldown_until;
+  const bool can_renew = second_.owned_by(tid) && !lease_expired(tid, now);
+  if (!can_acquire_fresh && !can_renew) {
+    c.next_check = now + cfg_.recheck_interval;
+    return false;
+  }
+
+  bool conditions = true;
+  if (cfg_.scheme == RobScheme::kReactive) {
+    conditions = rob.head() == load && rob.first_level_full();
+  } else if (cfg_.scheme == RobScheme::kRelaxedReactive) {
+    conditions = rob.head() == load;  // "full" requirement dropped
+  }
+  // kCdr: no positional requirements; the snapshot delay gated first_check.
+
+  if (conditions) {
+    const u32 dod = dod_count(tid, c.tseq);
+    stats_.average("dod_at_decision").sample(static_cast<double>(dod));
+    if (dod < cfg_.dod_threshold) {
+      acquire(tid, c.tseq, now);
+      return true;  // decision made; candidate retired
+    }
+    stats_.counter("rejected_high_dod").inc();
+    // A high count can shrink as independent work executes; keep re-checking
+    // while the miss is outstanding.
+  }
+  c.next_check = now + cfg_.recheck_interval;
+  return false;
+}
+
+void TwoLevelRobController::adaptive_tick(Cycle now) {
+  if (now % cfg_.adaptive_interval != 0) return;
+  for (u32 tid = 0; tid < threads_.size(); ++tid) {
+    ThreadState& ts = threads_[tid];
+    ReorderBuffer& rob = *robs_[tid];
+    if (rob.empty()) continue;
+    const u32 unexecuted =
+        rob.count_unexecuted_younger(rob.head()->tseq - 1, rob.base_capacity() + ts.adaptive_extra);
+    const bool window_saturated = rob.size() + cfg_.adaptive_step / 2 >= rob.capacity();
+    const bool head_blocked = !rob.head()->executed;
+
+    if (unexecuted > cfg_.adaptive_issue_bound_threshold) {
+      // Issue-bound phase: a larger window would only push more waiting
+      // instructions at the shared issue logic — shrink one partition.
+      if (ts.adaptive_extra >= cfg_.adaptive_step) {
+        ts.adaptive_extra -= cfg_.adaptive_step;
+        stats_.counter("adaptive.shrinks").inc();
+      }
+    } else if (window_saturated && head_blocked) {
+      // Commit-bound phase: the window is full behind a long-latency op and
+      // the work in it drains quickly — grow one partition.
+      if (ts.adaptive_extra + cfg_.adaptive_step <= cfg_.adaptive_max_extra) {
+        ts.adaptive_extra += cfg_.adaptive_step;
+        stats_.counter("adaptive.grows").inc();
+      }
+    }
+    rob.grant_extra(ts.adaptive_extra);
+  }
+}
+
+void TwoLevelRobController::tick(Cycle now) {
+  if (cfg_.scheme == RobScheme::kBaseline) return;
+  if (cfg_.scheme == RobScheme::kAdaptive) {
+    adaptive_tick(now);
+    return;
+  }
+  // Rotate the evaluation order so that when several threads have qualifying
+  // candidates pending, the partition does not always go to the lowest id.
+  const u32 n = static_cast<u32>(threads_.size());
+  for (u32 i = 0; i < n; ++i) {
+    const ThreadId tid = static_cast<ThreadId>((now + i) % n);
+    ThreadState& ts = threads_[tid];
+    if (cfg_.scheme != RobScheme::kPredictive) {
+      for (auto it = ts.cands.begin(); it != ts.cands.end();) {
+        if (it->next_check <= now && evaluate(tid, *it, now))
+          it = ts.cands.erase(it);
+        else
+          ++it;
+      }
+    }
+    maybe_release(tid, now);
+  }
+}
+
+void TwoLevelRobController::on_squash(ThreadId tid, u64 tseq) {
+  if (cfg_.scheme == RobScheme::kBaseline || cfg_.scheme == RobScheme::kAdaptive) return;
+  ThreadState& ts = threads_[tid];
+  ts.cands.erase(std::remove_if(ts.cands.begin(), ts.cands.end(),
+                                [&](const Candidate& c) { return c.tseq > tseq; }),
+                 ts.cands.end());
+  if (ts.has_trigger && ts.trigger_tseq > tseq) ts.has_trigger = false;
+}
+
+}  // namespace tlrob

@@ -1,0 +1,142 @@
+// Second-level ROB allocation controllers (§4, §5.2, §5.3 of the paper):
+//
+//   kReactive (2-Level R-ROB):  after an L2 miss is detected, allocate the
+//     second level iff (1) the missing load is the oldest instruction in its
+//     thread's ROB, (2) the first-level ROB is full, and (3) the counted DoD
+//     is below the threshold. Conditions are checked when the miss is
+//     detected and re-checked every `recheck_interval` (10) cycles.
+//   kRelaxedReactive (2-Level Relaxed R-ROB):  as reactive but without the
+//     "first-level ROB full" requirement — the count may be taken over a
+//     partially full ROB, which under-counts and occasionally over-allocates
+//     (the paper's explanation for its slightly lower FT).
+//   kCdr (2-Level CDR-ROB):  the dependence-count snapshot is taken a fixed
+//     `cdr_delay` (32) cycles after miss detection, with the oldest/full
+//     requirements relaxed.
+//   kPredictive (2-Level P-ROB):  a PC-indexed last-value DoD predictor
+//     decides at miss-detection time; the actual count, taken when the miss
+//     service completes, verifies the prediction, updates the predictor, and
+//     revokes an allocation that verification disproves.
+//
+// The DoD count is the paper's low-complexity proxy: the number of
+// not-yet-executed instructions in the first-level window younger than the
+// missing load (ReorderBuffer::count_unexecuted_younger).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "rob/dod_predictor.hpp"
+#include "rob/rob.hpp"
+#include "rob/two_level_rob.hpp"
+
+namespace tlrob {
+
+enum class RobScheme : u8 {
+  kBaseline,
+  kReactive,
+  kRelaxedReactive,
+  kCdr,
+  kPredictive,
+  /// The comparison point of Sharkey, Balkan & Ponomarev (PACT 2006, the
+  /// paper's ref [23]), simplified: each thread's PRIVATE ROB grows and
+  /// shrinks in fixed-size partitions between the first-level size and
+  /// `adaptive_max_extra` above it, driven by a periodic commit-bound /
+  /// issue-bound phase classification. Unlike the two-level design there is
+  /// no shared partition and no DoD test, and growth is bounded by the
+  /// thread's own physical ROB — the limitation (no coverage of long memory
+  /// latencies) the paper's §1 calls out.
+  kAdaptive,
+};
+
+const char* rob_scheme_name(RobScheme scheme);
+
+struct RobPolicyConfig {
+  RobScheme scheme = RobScheme::kBaseline;
+  u32 dod_threshold = 16;        // best R-ROB value per §5.2
+  Cycle recheck_interval = 10;   // §5.2: conditions re-checked every 10 cycles
+  Cycle cdr_delay = 32;          // §5.2: CDR snapshot delay
+  u32 predictor_entries = 4096;
+  /// Fairness bound on one thread's tenure of the shared partition: after
+  /// this many cycles the lease stops being renewed by fresh misses, the
+  /// holder drains back into its first level and the partition frees. The
+  /// paper leaves the relinquish policy open ("unless this storage is
+  /// relinquished..."); an unbounded lease lets one continuously-missing
+  /// thread monopolise the partition, which defeats the mechanism on mixes
+  /// with several memory-bound threads. Covers ~4 back-to-back miss
+  /// services by default.
+  Cycle lease_limit = 4000;
+  /// After a thread's lease ends it may not re-acquire the partition for
+  /// this many cycles, so continuously-missing threads take turns instead
+  /// of re-grabbing it the moment they release.
+  Cycle lease_cooldown = 2500;
+
+  // kAdaptive only (ref [23] reconstruction):
+  Cycle adaptive_interval = 128;  // phase-classification period
+  u32 adaptive_step = 16;         // partition granularity
+  u32 adaptive_max_extra = 96;    // 32 + 96 = 128-entry physical ROB
+  /// Issue-bound when more unexecuted instructions than this sit in the
+  /// window (they would clog the shared issue logic if the window grew).
+  u32 adaptive_issue_bound_threshold = 16;
+};
+
+class TwoLevelRobController {
+ public:
+  /// `robs[t]` must outlive the controller.
+  TwoLevelRobController(const RobPolicyConfig& cfg, std::vector<ReorderBuffer*> robs,
+                        SecondLevelRob& second);
+
+  /// Notification: the load's L2 miss became architecturally visible.
+  void on_l2_miss_detected(DynInst& load, Cycle now);
+
+  /// Notification: the load's line arrived. Called *before* the load is
+  /// marked executed, so the DoD count still sees the pre-fill window.
+  void on_load_fill(DynInst& load, Cycle now);
+
+  /// Per-cycle policy evaluation (reactive re-checks, CDR snapshots, lease
+  /// release when the holder has drained).
+  void tick(Cycle now);
+
+  /// Squash hook: drops candidates of `tid` younger than `tseq`.
+  void on_squash(ThreadId tid, u64 tseq);
+
+  const RobPolicyConfig& config() const { return cfg_; }
+  SecondLevelRob& second_level() { return second_; }
+  DodPredictor* predictor() { return predictor_.get(); }
+  StatGroup& stats() { return stats_; }
+
+ private:
+  struct Candidate {
+    u64 tseq = 0;
+    Cycle detect = 0;
+    Cycle next_check = 0;
+    bool filled = false;
+  };
+  struct ThreadState {
+    std::vector<Candidate> cands;
+    u64 trigger_tseq = 0;     // load justifying current ownership
+    bool has_trigger = false;
+    Cycle cooldown_until = 0;  // earliest re-acquisition after a lease
+    u32 adaptive_extra = 0;    // kAdaptive: current growth above level 1
+  };
+
+  /// Evaluates one candidate; returns true if it should be dropped.
+  bool evaluate(ThreadId tid, Candidate& c, Cycle now);
+  /// kAdaptive: periodic per-thread grow/shrink decision (ref [23]).
+  void adaptive_tick(Cycle now);
+  void acquire(ThreadId tid, u64 tseq, Cycle now);
+  void maybe_release(ThreadId tid, Cycle now);
+  /// True when `tid` holds the partition past the fairness bound, so its
+  /// lease must not be renewed by further misses.
+  bool lease_expired(ThreadId tid, Cycle now) const;
+  u32 dod_count(ThreadId tid, u64 tseq) const;
+
+  RobPolicyConfig cfg_;
+  std::vector<ReorderBuffer*> robs_;
+  SecondLevelRob& second_;
+  std::unique_ptr<DodPredictor> predictor_;
+  std::vector<ThreadState> threads_;
+  StatGroup stats_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,63 @@
+#include "rob/rob.hpp"
+
+#include <stdexcept>
+#include <algorithm>
+#include <unordered_set>
+
+namespace tlrob {
+
+DynInst& ReorderBuffer::push(DynInst&& di) {
+  if (full()) throw std::logic_error("ReorderBuffer::push on full ROB");
+  // tseq is strictly increasing but may have gaps: squashed instructions'
+  // numbers are never reused.
+  if (!insts_.empty() && insts_.back().tseq >= di.tseq)
+    throw std::logic_error("ReorderBuffer::push out of program order");
+  insts_.push_back(std::move(di));
+  return insts_.back();
+}
+
+void ReorderBuffer::pop_head() {
+  if (insts_.empty()) throw std::logic_error("ReorderBuffer::pop_head on empty ROB");
+  insts_.pop_front();
+}
+
+DynInst* ReorderBuffer::find(u64 tseq) {
+  if (insts_.empty()) return nullptr;
+  if (tseq < insts_.front().tseq || tseq > insts_.back().tseq) return nullptr;
+  // Binary search: the window is sorted by (gappy) strictly-increasing tseq.
+  auto it = std::lower_bound(insts_.begin(), insts_.end(), tseq,
+                             [](const DynInst& d, u64 v) { return d.tseq < v; });
+  if (it == insts_.end() || it->tseq != tseq) return nullptr;
+  return &*it;
+}
+
+u32 ReorderBuffer::count_unexecuted_younger(u64 tseq, u32 window) const {
+  u32 count = 0;
+  u32 scanned = 0;
+  for (const DynInst& di : insts_) {
+    if (di.tseq <= tseq) continue;
+    if (scanned >= window) break;
+    ++scanned;
+    if (!di.executed) ++count;
+  }
+  return count;
+}
+
+u32 ReorderBuffer::count_true_dependents(const DynInst& load) const {
+  std::unordered_set<PhysReg> tainted;
+  if (load.dest_phys != kInvalidPhysReg) tainted.insert(load.dest_phys);
+  u32 count = 0;
+  for (const DynInst& di : insts_) {
+    if (di.tseq <= load.tseq) continue;
+    bool dep = false;
+    for (PhysReg s : di.src_phys)
+      if (s != kInvalidPhysReg && tainted.count(s) != 0) dep = true;
+    if (dep) {
+      ++count;
+      if (di.dest_phys != kInvalidPhysReg) tainted.insert(di.dest_phys);
+    }
+  }
+  return count;
+}
+
+}  // namespace tlrob

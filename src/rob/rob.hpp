@@ -1,0 +1,84 @@
+// Per-thread reorder buffer.
+//
+// The ROB owns the DynInst storage for its thread's in-flight window; other
+// structures hold pointers into it. std::deque guarantees reference stability
+// for everything except the erased elements under push_back/pop_front/
+// pop_back, which are the only mutations performed. (tid, tseq) lookups are
+// O(1) because the window always holds a contiguous tseq range.
+//
+// Capacity is dynamic: `base_capacity` is the first-level size (32 in Table
+// 1); the two-level controller grants/revokes `extra` entries when the
+// shared second-level partition is allocated to this thread.
+#pragma once
+
+#include <deque>
+
+#include "pipeline/dyn_inst.hpp"
+
+namespace tlrob {
+
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(u32 base_capacity) : base_capacity_(base_capacity) {}
+
+  u32 base_capacity() const { return base_capacity_; }
+  u32 capacity() const { return base_capacity_ + extra_; }
+  u32 size() const { return static_cast<u32>(insts_.size()); }
+  bool empty() const { return insts_.empty(); }
+  bool full() const { return size() >= capacity(); }
+
+  /// True when the first level alone is exhausted (a reactive-allocation
+  /// precondition even while the second level is attached).
+  bool first_level_full() const { return size() >= base_capacity_; }
+
+  void grant_extra(u32 entries) { extra_ = entries; }
+  void revoke_extra() { extra_ = 0; }
+  u32 extra() const { return extra_; }
+
+  /// Appends a new instruction (dispatch). Requires !full().
+  DynInst& push(DynInst&& di);
+
+  DynInst* head() { return insts_.empty() ? nullptr : &insts_.front(); }
+  const DynInst* head() const { return insts_.empty() ? nullptr : &insts_.front(); }
+  DynInst* back() { return insts_.empty() ? nullptr : &insts_.back(); }
+
+  /// Commit: removes the head. Requires non-empty.
+  void pop_head();
+
+  /// O(1) lookup by per-thread sequence number; nullptr if the instruction
+  /// has committed or been squashed.
+  DynInst* find(u64 tseq);
+
+  /// Removes the suffix younger than `tseq` (youngest first), invoking
+  /// `on_remove(DynInst&)` for each before destruction.
+  template <typename F>
+  void squash_after(u64 tseq, F&& on_remove) {
+    while (!insts_.empty() && insts_.back().tseq > tseq) {
+      on_remove(insts_.back());
+      insts_.pop_back();
+    }
+  }
+
+  /// The paper's DoD counter: number of not-yet-executed ("result valid" bit
+  /// clear) instructions younger than `tseq`, scanning at most `window`
+  /// entries after it (the first-level ROB in the hardware proposal).
+  u32 count_unexecuted_younger(u64 tseq, u32 window) const;
+
+  /// Measurement-only: number of instructions in the current window that
+  /// transitively depend on `load` through register dataflow (Figures 1, 3
+  /// and 7 plot this). Memory-carried dependences are not chased.
+  u32 count_true_dependents(const DynInst& load) const;
+
+  /// Iterates oldest -> youngest.
+  template <typename F>
+  void for_each(F&& f) {
+    for (DynInst& di : insts_) f(di);
+  }
+
+ private:
+  std::deque<DynInst> insts_;
+  u32 base_capacity_;
+  u32 extra_ = 0;
+};
+
+}  // namespace tlrob

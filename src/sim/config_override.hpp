@@ -1,0 +1,33 @@
+// Command-line overrides for MachineConfig — the sim-outorder-style knobs a
+// downstream user expects. Keys are flat "name=value" options (see
+// common/config.hpp); unknown keys are ignored so experiment scripts can mix
+// machine knobs with their own options.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "sim/presets.hpp"
+
+namespace tlrob {
+
+/// Applies recognised overrides onto `cfg`. Supported keys:
+///   threads, fetch_width, fetch_threads, dispatch_width, issue_width,
+///   commit_width, decode_depth, frontend_buffer,
+///   rob1 (first-level entries), rob2 (second-level entries), iq, lsq,
+///   int_regs, fp_regs, shared_regfile (0/1), reg_reserve,
+///   policy (dcra|icount|stall|flush|rr),
+///   scheme (baseline|rrob|relaxed|cdr|prob), threshold, recheck, cdr_delay,
+///   lease, cooldown, predictor_entries,
+///   l2_kb, l2_ways, l1d_kb, l1i_kb, mem_lat, interchunk, critical_bytes,
+///   mshr, dcra_sharing, seed.
+/// Throws std::invalid_argument on an unrecognised policy/scheme value.
+MachineConfig apply_overrides(MachineConfig cfg, const Options& opts);
+
+/// Parses a scheme name as accepted by apply_overrides.
+RobScheme parse_scheme(const std::string& name);
+
+/// Parses a fetch-policy name as accepted by apply_overrides.
+FetchPolicyKind parse_fetch_policy(const std::string& name);
+
+}  // namespace tlrob

@@ -1,0 +1,39 @@
+#include "sim/experiment.hpp"
+
+#include <map>
+
+#include "workload/spec_profiles.hpp"
+
+namespace tlrob {
+
+RunResult run_benchmarks(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks,
+                         u64 commit_target, u64 max_cycles, u64 warmup_insts) {
+  SmtCore core(cfg, benchmarks);
+  return core.run(commit_target, max_cycles, warmup_insts);
+}
+
+double single_thread_ipc(const std::string& benchmark, u64 commit_target) {
+  static std::map<std::pair<std::string, u64>, double> cache;
+  const auto key = std::make_pair(benchmark, commit_target);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+
+  const MachineConfig cfg = single_thread_config();
+  const RunResult r = run_benchmarks(cfg, {spec_benchmark(benchmark)}, commit_target);
+  const double ipc = r.threads.at(0).ipc;
+  cache.emplace(key, ipc);
+  return ipc;
+}
+
+MixOutcome run_mix(const MachineConfig& cfg, const Mix& mix, u64 commit_target) {
+  MixOutcome out;
+  out.run = run_benchmarks(cfg, mix_benchmarks(mix), commit_target);
+  for (const auto& t : out.run.threads) {
+    out.mt_ipc.push_back(t.ipc);
+    out.st_ipc.push_back(single_thread_ipc(t.benchmark, commit_target));
+  }
+  out.ft = fair_throughput(out.mt_ipc, out.st_ipc);
+  out.throughput = out.run.total_throughput();
+  return out;
+}
+
+}  // namespace tlrob

@@ -1,0 +1,42 @@
+// Experiment harness shared by the benches, examples and integration tests:
+// runs mixes on configured machines and computes the paper's metrics.
+//
+// Weighted-IPC denominators (each benchmark's IPC "in a single-threaded
+// situation", §3) are measured on the fixed single-thread reference machine
+// (sim/presets.hpp) and memoised per (benchmark, commit_target), since every
+// figure reuses them.
+#pragma once
+
+#include "sim/metrics.hpp"
+#include "sim/presets.hpp"
+#include "sim/smt_sim.hpp"
+#include "workload/mixes.hpp"
+
+namespace tlrob {
+
+/// Default per-run length (committed instructions on the fastest thread).
+inline constexpr u64 kDefaultCommitTarget = 200000;
+/// Default warmup (committed instructions, excluded from all statistics).
+inline constexpr u64 kDefaultWarmup = 60000;
+
+/// Runs `benchmarks` (one per thread) on `cfg`.
+RunResult run_benchmarks(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks,
+                         u64 commit_target = kDefaultCommitTarget, u64 max_cycles = 0,
+                         u64 warmup_insts = kDefaultWarmup);
+
+/// Single-threaded IPC of a SPEC profile on the reference machine (memoised).
+double single_thread_ipc(const std::string& benchmark, u64 commit_target = kDefaultCommitTarget);
+
+/// Everything a figure needs for one (machine, mix) cell.
+struct MixOutcome {
+  RunResult run;
+  std::vector<double> mt_ipc;
+  std::vector<double> st_ipc;
+  double ft = 0.0;          // fair throughput (harmonic mean of weighted IPCs)
+  double throughput = 0.0;  // sum of multithreaded IPCs
+};
+
+MixOutcome run_mix(const MachineConfig& cfg, const Mix& mix,
+                   u64 commit_target = kDefaultCommitTarget);
+
+}  // namespace tlrob

@@ -1,0 +1,760 @@
+#include "sim/smt_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlrob {
+
+SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks)
+    : cfg_(cfg),
+      benchmarks_(benchmarks),
+      rename_(RenameConfig{cfg.int_regs, cfg.fp_regs, cfg.num_threads, cfg.shared_regfile}),
+      iq_(cfg.iq_entries, cfg.num_threads),
+      fus_(),
+      mem_(cfg.memory),
+      bpred_(cfg.predictor, cfg.num_threads),
+      lhp_(cfg.load_hit_entries, cfg.load_hit_history, cfg.num_threads),
+      dcra_(cfg.dcra, cfg.num_threads),
+      second_(cfg.rob_second_level),
+      wp_rng_(cfg.seed ^ 0xabcdef12345ULL) {
+  if (benchmarks_.size() != cfg.num_threads)
+    throw std::invalid_argument("SmtCore: one benchmark per hardware thread required");
+  if (cfg.early_register_release && cfg.fetch_policy == FetchPolicyKind::kFlush)
+    throw std::invalid_argument(
+        "SmtCore: early register release is incompatible with the FLUSH policy "
+        "(un-dispatched instructions cannot restore early-freed registers)");
+
+  fetch_policy_ = FetchPolicy::create(cfg.fetch_policy, &dcra_);
+
+  threads_.reserve(cfg.num_threads);
+  for (ThreadId t = 0; t < cfg.num_threads; ++t) {
+    threads_.emplace_back(cfg.rob_first_level, cfg.lsq_entries);
+    ThreadState& ts = threads_.back();
+    const Addr base = static_cast<Addr>(t + 1) << 36;
+    ts.ctx = std::make_unique<ThreadContext>(benchmarks_[t], base,
+                                             cfg.seed + 7919ULL * (t + 1));
+    const Program& prog = ts.ctx->program();
+    for (u32 b = 0; b < prog.num_blocks(); ++b)
+      ts.block_of_pc.emplace(prog.block(b).insts.front().pc, b);
+  }
+
+  std::vector<ReorderBuffer*> robs;
+  for (auto& ts : threads_) robs.push_back(&ts.rob);
+  rob_ctrl_ = std::make_unique<TwoLevelRobController>(cfg.rob, std::move(robs), second_);
+
+  // Functional cache warming (the stand-in for Simpoint fast-forwarding):
+  // REUSED data starts resident, so short runs measure steady-state
+  // behaviour instead of cold-start churn. Only content a benchmark actually
+  // re-touches is installed — streaming sweeps, pointer chases and the cold
+  // bodies of gather regions have no reuse to preserve, and warming them
+  // would only flush everyone else's hot sets. Large reuse prefixes go
+  // first, small per-thread hot sets last (LRU-youngest).
+  for (ThreadId t = 0; t < cfg.num_threads; ++t) {
+    const Addr base = threads_[t].ctx->addr_space_base();
+    for (const AddrGenSpec& s : benchmarks_[t].agens) {
+      if (s.pattern == AddrPattern::kRandom && s.hot_bytes > 0)
+        mem_.prewarm_region(base + s.base, s.hot_bytes);
+      else if (s.pattern == AddrPattern::kRandom && s.region_bytes <= (1 << 20))
+        mem_.prewarm_region(base + s.base, s.region_bytes);
+    }
+  }
+  for (ThreadId t = 0; t < cfg.num_threads; ++t) {
+    const Addr base = threads_[t].ctx->addr_space_base();
+    for (const AddrGenSpec& s : benchmarks_[t].agens)
+      if (s.pattern == AddrPattern::kStack)
+        mem_.prewarm_region(base + s.base, s.region_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event plumbing
+// ---------------------------------------------------------------------------
+
+void SmtCore::schedule(Cycle when, EvKind kind, const DynInst& di) {
+  events_.push(Event{when, event_order_++, kind, InstRef{di.tid, di.tseq, di.replay_gen}});
+}
+
+DynInst* SmtCore::find_inst(const InstRef& ref) {
+  DynInst* d = threads_[ref.tid].rob.find(ref.tseq);
+  if (d == nullptr || d->replay_gen != ref.replay_gen) return nullptr;
+  return d;
+}
+
+void SmtCore::process_events() {
+  while (!events_.empty() && events_.top().when <= cycle_) {
+    const Event ev = events_.top();
+    events_.pop();
+    DynInst* di = find_inst(ev.ref);
+    if (di == nullptr) {
+      stats_.counter("events.dropped").inc();
+      continue;
+    }
+    switch (ev.kind) {
+      case EvKind::kFuComplete: handle_fu_complete(*di); break;
+      case EvKind::kLoadFill: handle_load_fill(*di); break;
+      case EvKind::kL2MissDetect: handle_l2_miss_detect(*di); break;
+      case EvKind::kLoadReplay: handle_load_replay(*di); break;
+    }
+  }
+}
+
+void SmtCore::handle_fu_complete(DynInst& di) { finish_execution(di); }
+
+void SmtCore::handle_load_fill(DynInst& di) {
+  if (!di.wrong_path && di.is_l2_miss) {
+    // Figures 1 / 3 / 7: dependents captured by the ROB at miss-service time.
+    ReorderBuffer& rob = threads_[di.tid].rob;
+    dod_true_.record(rob.count_true_dependents(di));
+    dod_proxy_.record(rob.count_unexecuted_younger(di.tseq, 0xffffffffu));
+    stats_.counter("loads.l2_miss_fills").inc();
+  }
+  if (!di.wrong_path) rob_ctrl_->on_load_fill(di, cycle_);
+  drop_outstanding_counts(di);
+  finish_execution(di);
+}
+
+void SmtCore::handle_l2_miss_detect(DynInst& di) {
+  // A merged secondary miss can be serviced before the nominal detection
+  // time (it piggybacks on a fill that is about to arrive); a "detection"
+  // of an already-completed load must not gate fetch, flush, or count.
+  if (di.executed) {
+    stats_.counter("loads.l2_detect_after_fill").inc();
+    return;
+  }
+  if (!di.l2_counted) {
+    ++threads_[di.tid].outstanding_l2;
+    di.l2_counted = true;
+  }
+  stats_.counter(di.wrong_path ? "loads.l2_miss_detect_wp" : "loads.l2_miss_detect").inc();
+  if (di.wrong_path) return;
+  rob_ctrl_->on_l2_miss_detected(di, cycle_);
+  if (fetch_policy_->flush_on_l2_miss()) {
+    undispatch_after(di.tid, di.tseq);
+    stats_.counter("flush.triggered").inc();
+  }
+}
+
+void SmtCore::handle_load_replay(DynInst& di) {
+  // The load was predicted to hit L1 but missed: kill the speculative
+  // wakeup and replay every dependent that issued on it.
+  if (di.dest_phys != kInvalidPhysReg && rename_.is_spec(di.dest_phys)) {
+    rename_.clear_spec(di.dest_phys);
+    replay_dependents_of(di.dest_phys);
+  }
+}
+
+void SmtCore::replay_dependents_of(PhysReg reg) {
+  std::vector<DynInst*> victims = iq_.collect([&](DynInst& e) {
+    return e.issued && !e.executed &&
+           ((e.spec_used[0] && e.src_phys[0] == reg) ||
+            (e.spec_used[1] && e.src_phys[1] == reg));
+  });
+  for (DynInst* e : victims) {
+    e->issued = false;
+    ++e->replay_gen;  // poison in-flight completion events
+    e->spec_used[0] = e->spec_used[1] = false;
+    drop_outstanding_counts(*e);
+    if (e->is_load()) {
+      e->is_l2_miss = false;
+      e->l1_hit = false;
+      e->addr_resolved = false;
+    }
+    stats_.counter("issue.replays").inc();
+    if (e->dest_phys != kInvalidPhysReg && rename_.is_spec(e->dest_phys)) {
+      rename_.clear_spec(e->dest_phys);
+      replay_dependents_of(e->dest_phys);  // chained speculation
+    }
+  }
+}
+
+void SmtCore::drop_outstanding_counts(DynInst& di) {
+  ThreadState& ts = threads_[di.tid];
+  if (di.l1_counted) {
+    if (ts.outstanding_l1 > 0) --ts.outstanding_l1;
+    di.l1_counted = false;
+  }
+  if (di.l2_counted) {
+    if (ts.outstanding_l2 > 0) --ts.outstanding_l2;
+    di.l2_counted = false;
+  }
+}
+
+void SmtCore::finish_execution(DynInst& di) {
+  if (di.executed) return;  // idempotent: commit-poll and events may race
+  di.executed = true;
+  di.complete_cycle = cycle_;
+  if (di.dest_phys != kInvalidPhysReg) rename_.set_ready(di.dest_phys);
+  if (di.in_iq) iq_.remove(&di);  // speculatively issued entries release here
+  rename_.consumers_read(di);
+  tracer_.event(cycle_, "complete", di);
+  stats_.counter("exec.completed").inc();
+  if (di.is_ctrl() && !di.branch_resolved) {
+    di.branch_resolved = true;
+    ThreadState& ts = threads_[di.tid];
+    if (ts.unresolved_ctrl > 0) --ts.unresolved_ctrl;
+    resolve_control(di);
+  }
+}
+
+void SmtCore::resolve_control(DynInst& di) {
+  if (di.wrong_path) return;
+  bpred_.train(di.tid, *di.si, di.pred, di.taken, di.actual_target);
+  if (!di.mispredicted) return;
+
+  stats_.counter("branch.mispredicts_resolved").inc();
+  bpred_.recover(di.tid, *di.si, di.pred, di.taken);
+  squash_after(di.tid, di.tseq);
+  ThreadState& ts = threads_[di.tid];
+  ts.wrong_path = false;
+  ts.wp_dead = false;
+  ts.fetch_stall_until = std::max(ts.fetch_stall_until, cycle_ + 1);
+}
+
+void SmtCore::squash_after(ThreadId tid, u64 tseq) {
+  ThreadState& ts = threads_[tid];
+  while (!ts.frontend.empty() && ts.frontend.back().tseq > tseq) ts.frontend.pop_back();
+  ts.lsq.squash_after(tseq);  // before the ROB destroys the entries it points at
+  ts.rob.squash_after(tseq, [&](DynInst& d) {
+    if (d.in_iq) iq_.remove(&d);
+    drop_outstanding_counts(d);
+    if (!d.executed) rename_.consumers_cancel(d);
+    if (d.is_ctrl() && !d.branch_resolved && ts.unresolved_ctrl > 0) --ts.unresolved_ctrl;
+    ++d.replay_gen;
+    rename_.squash_undo(d);
+    tracer_.event(cycle_, "squash  ", d);
+    stats_.counter("squash.insts").inc();
+  });
+  rob_ctrl_->on_squash(tid, tseq);
+}
+
+void SmtCore::undispatch_after(ThreadId tid, u64 tseq) {
+  // FLUSH-policy semantics: free the shared resources held by this thread's
+  // post-miss instructions, but keep the instructions themselves — they go
+  // back to the front of the dispatch queue instead of being re-fetched
+  // (equivalent shared-resource behaviour; see DESIGN.md).
+  ThreadState& ts = threads_[tid];
+  std::vector<DynInst> popped;
+  ts.lsq.squash_after(tseq);  // before the ROB pops the entries it points at
+  ts.rob.squash_after(tseq, [&](DynInst& d) {
+    if (d.in_iq) iq_.remove(&d);
+    drop_outstanding_counts(d);
+    if (!d.executed) rename_.consumers_cancel(d);
+    if (d.is_ctrl() && !d.branch_resolved && ts.unresolved_ctrl > 0) --ts.unresolved_ctrl;
+    rename_.squash_undo(d);
+    ++d.replay_gen;
+    d.dispatched = false;
+    d.issued = false;
+    d.executed = false;
+    d.branch_resolved = false;
+    d.addr_resolved = false;
+    d.lsq_allocated = false;
+    d.l1_hit = false;
+    d.is_l2_miss = false;
+    d.l2_miss_detect_cycle = kNeverCycle;
+    d.fill_cycle = kNeverCycle;
+    d.complete_cycle = kNeverCycle;
+    d.spec_used[0] = d.spec_used[1] = false;
+    d.src_phys[0] = d.src_phys[1] = kInvalidPhysReg;
+    d.dest_phys = kInvalidPhysReg;
+    d.prev_dest_phys = kInvalidPhysReg;
+    d.iq_slot = -1;
+    popped.push_back(std::move(d));
+    stats_.counter("flush.undispatched").inc();
+  });
+  for (auto& d : popped) ts.frontend.push_front(std::move(d));  // youngest first
+  rob_ctrl_->on_squash(tid, tseq);
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+void SmtCore::do_commit() {
+  u32 budget = cfg_.commit_width;
+  const u32 n = cfg_.num_threads;
+  for (u32 i = 0; i < n && budget > 0; ++i) {
+    const ThreadId t = static_cast<ThreadId>((commit_rr_ + i) % n);
+    ThreadState& ts = threads_[t];
+    while (budget > 0) {
+      DynInst* h = ts.rob.head();
+      if (h == nullptr) break;
+      // Store-data completion: an issued store whose data arrived after its
+      // address generation becomes committable here.
+      if (h->is_store() && h->issued && !h->executed &&
+          (h->src_phys[0] == kInvalidPhysReg || rename_.is_ready(h->src_phys[0], cycle_)))
+        finish_execution(*h);
+      if (!h->executed) break;
+      if (h->wrong_path) {
+        // Should be unreachable: the mispredicted branch squashes before
+        // committing. Counted rather than asserted so long runs surface it.
+        stats_.counter("commit.wrong_path_bug").inc();
+      }
+      if (h->is_store() && !h->wrong_path) mem_.access_data(h->mem_addr, true, cycle_);
+      if (h->is_mem() && h->lsq_allocated) ts.lsq.pop(h);
+      drop_outstanding_counts(*h);  // defensive: no committed op may keep gating fetch
+      rename_.commit_free(*h);
+      tracer_.event(cycle_, "commit  ", *h);
+      if (!h->wrong_path) {
+        ++ts.committed;
+        stats_.counter("commit.insts").inc();
+      }
+      ts.rob.pop_head();
+      --budget;
+    }
+  }
+  ++commit_rr_;
+}
+
+// ---------------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------------
+
+void SmtCore::do_issue() {
+  std::vector<DynInst*> ready = iq_.collect([&](DynInst& d) {
+    if (d.issued) return false;
+    // Stores issue for address generation as soon as the address dependence
+    // (src[1]) is ready; the data (src[0]) is only needed at commit
+    // (split store-address / store-data, as in real LSQs). Everything else
+    // needs all sources.
+    const u32 first_src = d.is_store() ? 1 : 0;
+    for (u32 s = first_src; s < 2; ++s)
+      if (d.src_phys[s] != kInvalidPhysReg && !rename_.is_ready(d.src_phys[s], cycle_))
+        return false;
+    return true;
+  });
+  std::sort(ready.begin(), ready.end(),
+            [](const DynInst* a, const DynInst* b) { return a->seq < b->seq; });
+
+  u32 issued = 0;
+  for (DynInst* d : ready) {
+    if (issued >= cfg_.issue_width) break;
+    if (issue_one(*d)) ++issued;
+  }
+}
+
+bool SmtCore::issue_one(DynInst& di) {
+  if (!fus_.can_issue(di.op, cycle_)) return false;
+  if (di.is_load() && !threads_[di.tid].lsq.older_stores_resolved(di)) return false;
+
+  bool any_spec = false;
+  for (u32 s = 0; s < 2; ++s) {
+    if (di.src_phys[s] != kInvalidPhysReg && rename_.is_spec(di.src_phys[s])) {
+      di.spec_used[s] = true;
+      any_spec = true;
+    }
+  }
+
+  di.issued = true;
+  di.issue_cycle = cycle_;
+  tracer_.event(cycle_, "issue   ", di, any_spec ? "spec" : "");
+  stats_.counter("issue.insts").inc();
+
+  if (di.is_load()) {
+    fus_.issue(di.op, cycle_);
+    issue_load(di);
+  } else if (di.is_store()) {
+    fus_.issue(di.op, cycle_);
+    di.addr_resolved = true;
+    // The store is architecturally complete once both the address is
+    // generated and the data has been produced; with the data still in
+    // flight the commit stage polls readiness at the ROB head.
+    if (di.src_phys[0] == kInvalidPhysReg || rename_.is_ready(di.src_phys[0], cycle_))
+      schedule(cycle_ + fus_.timing(di.op).latency, EvKind::kFuComplete, di);
+  } else {
+    const Cycle done = fus_.issue(di.op, cycle_);
+    schedule(done, EvKind::kFuComplete, di);
+  }
+
+  // Speculatively issued instructions keep their slot until completion so
+  // they can be re-armed by a replay; everything else frees it now.
+  if (!any_spec) iq_.remove(&di);
+  return true;
+}
+
+void SmtCore::issue_load(DynInst& di) {
+  ThreadState& ts = threads_[di.tid];
+  di.addr_resolved = true;
+
+  if (!di.wrong_path) {
+    if (const DynInst* st = ts.lsq.forwarding_store(di); st != nullptr) {
+      // Forward from the youngest older overlapping store. Data arrives when
+      // both the hit latency has elapsed and the store data exists.
+      const Cycle data_at =
+          st->executed ? cycle_ + 2 : std::max<Cycle>(cycle_ + 2, cycle_ + 4);
+      di.l1_hit = true;
+      lhp_.update(di.tid, di.pc, true);
+      schedule(data_at, EvKind::kLoadFill, di);
+      stats_.counter("lsq.forwards").inc();
+      return;
+    }
+  }
+
+  const DataAccess da = mem_.access_data(di.mem_addr, false, cycle_);
+  const bool predicted_hit = lhp_.predict(di.tid, di.pc);
+  lhp_.update(di.tid, di.pc, da.l1_hit);
+  di.l1_hit = da.l1_hit;
+  const Cycle data_cycle = da.data_ready + 1;  // +1: load-to-use forwarding
+
+  if (da.l1_hit) {
+    schedule(data_cycle, EvKind::kLoadFill, di);
+    return;
+  }
+
+  stats_.counter(di.wrong_path ? "loads.l1_miss_wp" : "loads.l1_miss").inc();
+  if (!di.l1_counted) {
+    ++ts.outstanding_l1;
+    di.l1_counted = true;
+  }
+  if (predicted_hit && di.dest_phys != kInvalidPhysReg) {
+    // Speculative wakeup at hit latency; the mis-speculation is discovered
+    // one cycle later and replays any dependent that got away.
+    rename_.set_spec_ready(di.dest_phys, cycle_ + 2);
+    schedule(cycle_ + 3, EvKind::kLoadReplay, di);
+    stats_.counter("loads.spec_wakeups").inc();
+  }
+  if (da.l2_miss) {
+    di.is_l2_miss = true;
+    di.l2_miss_detect_cycle = da.l2_miss_detect;
+    di.fill_cycle = data_cycle;
+    schedule(da.l2_miss_detect, EvKind::kL2MissDetect, di);
+    stats_.counter(di.wrong_path ? "loads.l2_miss_wp" : "loads.l2_miss").inc();
+  }
+  schedule(data_cycle, EvKind::kLoadFill, di);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+std::vector<ThreadFetchView> SmtCore::make_views() const {
+  std::vector<ThreadFetchView> views(cfg_.num_threads);
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
+    views[t].frontend_count = static_cast<u32>(threads_[t].frontend.size());
+    views[t].iq_count = iq_.occupancy(t);
+    views[t].outstanding_l1 = threads_[t].outstanding_l1;
+    views[t].outstanding_l2 = threads_[t].outstanding_l2;
+    views[t].active = true;
+  }
+  return views;
+}
+
+bool SmtCore::try_dispatch_one(ThreadState& ts, ThreadId tid) {
+  if (ts.frontend.empty()) return false;
+  DynInst& f = ts.frontend.front();
+  if (f.fetch_cycle + cfg_.decode_depth > cycle_) return false;
+  if (ts.rob.full()) {
+    stats_.counter("dispatch.stall_rob").inc();
+    return false;
+  }
+  if (!iq_.has_free()) {
+    stats_.counter("dispatch.stall_iq").inc();
+    return false;
+  }
+  if (f.is_mem() && !ts.lsq.has_free()) {
+    stats_.counter("dispatch.stall_lsq").inc();
+    return false;
+  }
+  if (!rename_.can_rename(tid, *f.si)) {
+    stats_.counter("dispatch.stall_regs").inc();
+    return false;
+  }
+  if (ts.rob.extra() > 0 && ts.rob.size() >= ts.rob.base_capacity() && f.si->has_dest() &&
+      cfg_.shared_regfile) {
+    // A second-level holder dispatching beyond its first level must leave
+    // rename headroom for the other threads.
+    const bool fp = is_fp_reg(f.si->dest);
+    const u32 free = fp ? rename_.free_fp(tid) : rename_.free_int(tid);
+    if (free <= cfg_.second_level_reg_reserve) {
+      stats_.counter("dispatch.stall_reg_reserve").inc();
+      return false;
+    }
+  }
+  if (cfg_.fetch_policy == FetchPolicyKind::kDcra) {
+    // Register files are per thread (M-Sim model), so DCRA's cross-thread
+    // partitioning applies to the shared issue queue; the per-thread rename
+    // pools are passed as the loose self-limits they are.
+    if (!dcra_.within_caps(tid, iq_.occupancy(tid), iq_.capacity(), rename_.int_in_use(tid),
+                           rename_.int_rename_pool(), rename_.fp_in_use(tid),
+                           rename_.fp_rename_pool())) {
+      stats_.counter("dispatch.stall_dcra").inc();
+      return false;
+    }
+  }
+
+  DynInst di = std::move(f);
+  ts.frontend.pop_front();
+  rename_.rename(di);
+  di.dispatched = true;
+  di.dispatch_cycle = cycle_;
+  DynInst& slot = ts.rob.push(std::move(di));
+  iq_.insert(&slot);
+  if (slot.is_mem()) ts.lsq.push(&slot);
+  if (slot.is_ctrl()) ++ts.unresolved_ctrl;
+  tracer_.event(cycle_, "dispatch", slot);
+  stats_.counter("dispatch.insts").inc();
+  return true;
+}
+
+void SmtCore::do_dispatch() {
+  const auto views = make_views();
+  dcra_.classify(views);
+  dcra_.set_privileged(second_.owner() == SecondLevelRob::kNoOwner
+                           ? DcraController::kNoPrivileged
+                           : second_.owner());
+  const auto order = fetch_policy_->order(views, cycle_);
+  u32 budget = cfg_.dispatch_width;
+  for (ThreadId t : order) {
+    ThreadState& ts = threads_[t];
+    while (budget > 0 && try_dispatch_one(ts, t)) --budget;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+DynInst SmtCore::make_correct_path_inst(ThreadState& ts, ThreadId tid) {
+  const ArchOp op = ts.ctx->next();
+  const Program& prog = ts.ctx->program();
+
+  DynInst di;
+  di.si = op.si;
+  di.op = op.si->op;
+  di.pc = op.pc;
+  di.tid = tid;
+  di.mem_addr = op.mem_addr;
+  di.taken = op.taken;
+  di.actual_target = op.target_pc;
+
+  if (di.is_ctrl()) {
+    const BasicBlock& bb = prog.block(op.block);
+    const Addr fallthrough_pc = ts.ctx->block_pc(bb.fallthrough);
+    const Addr static_target =
+        di.op == OpClass::kReturn ? 0 : ts.ctx->block_pc(op.si->taken_block);
+    di.pred = bpred_.predict(tid, *op.si, static_target, fallthrough_pc, fallthrough_pc);
+
+    di.mispredicted =
+        (di.pred.taken != di.taken) || (di.pred.target != di.actual_target);
+    if (di.mispredicted) {
+      ts.wrong_path = true;
+      ts.wp_index = 0;
+      ts.wp_dead = false;
+      if (di.op == OpClass::kBranch) {
+        ts.wp_block = di.pred.taken ? op.si->taken_block : bb.fallthrough;
+      } else {  // mispredicted return: steer by the (wrong) RAS target
+        auto it = ts.block_of_pc.find(di.pred.target);
+        if (it != ts.block_of_pc.end())
+          ts.wp_block = it->second;
+        else
+          ts.wp_dead = true;
+      }
+      stats_.counter("branch.mispredicts_fetched").inc();
+    }
+  }
+  return di;
+}
+
+DynInst SmtCore::make_wrong_path_inst(ThreadState& ts, ThreadId tid) {
+  const Program& prog = ts.ctx->program();
+  const BasicBlock& bb = prog.block(ts.wp_block);
+  const StaticInst& si = bb.insts[ts.wp_index];
+
+  DynInst di;
+  di.si = &si;
+  di.op = si.op;
+  di.pc = si.pc;
+  di.tid = tid;
+  di.wrong_path = true;
+
+  if (is_memory(si.op)) {
+    // Plausible-locality pseudo address: same region the static instruction
+    // touches on the correct path, random offset; generator state untouched.
+    const AddrGenSpec& spec = ts.ctx->benchmark().agens[static_cast<u32>(si.agen_id)];
+    const u64 region = std::max<u64>(8, spec.region_bytes);
+    di.mem_addr = ts.ctx->addr_space_base() + spec.base + (wp_rng_.next() % region & ~7ULL);
+  }
+
+  // Advance the cursor. Control flow follows the *prediction* (there is no
+  // architectural truth down here), so wrong-path branches never "mispredict".
+  u32 next_block = ts.wp_block;
+  u32 next_index = ts.wp_index + 1;
+  if (is_control(si.op)) {
+    const Addr fallthrough_pc = ts.ctx->block_pc(bb.fallthrough);
+    const Addr static_target =
+        si.op == OpClass::kReturn ? 0 : ts.ctx->block_pc(si.taken_block);
+    di.pred = bpred_.predict(tid, si, static_target, fallthrough_pc, fallthrough_pc);
+    di.taken = di.pred.taken;
+    di.actual_target = di.pred.target;
+    if (si.op == OpClass::kReturn) {
+      auto it = ts.block_of_pc.find(di.pred.target);
+      if (it == ts.block_of_pc.end()) {
+        ts.wp_dead = true;  // fell off the CFG; stall until the squash
+        return di;
+      }
+      next_block = it->second;
+    } else {
+      next_block = di.pred.taken ? si.taken_block : bb.fallthrough;
+    }
+    next_index = 0;
+  } else if (next_index == bb.insts.size()) {
+    next_block = bb.fallthrough;
+    next_index = 0;
+  }
+  ts.wp_block = next_block;
+  ts.wp_index = next_index;
+  return di;
+}
+
+bool SmtCore::fetch_one(ThreadState& ts, ThreadId tid) {
+  DynInst di =
+      ts.wrong_path ? make_wrong_path_inst(ts, tid) : make_correct_path_inst(ts, tid);
+
+  const Cycle iready = mem_.access_inst(icache_addr(ts, di.pc), cycle_);
+  di.fetch_cycle = std::max(cycle_, iready);
+  if (iready > cycle_) {
+    ts.fetch_stall_until = iready;
+    stats_.counter("fetch.icache_stalls").inc();
+  }
+
+  di.seq = next_seq_++;
+  di.tseq = ts.next_tseq++;
+  tracer_.event(cycle_, "fetch   ", di);
+  ts.frontend.push_back(std::move(di));
+  stats_.counter(ts.frontend.back().wrong_path ? "fetch.wrong_path" : "fetch.insts").inc();
+  return true;
+}
+
+void SmtCore::do_fetch() {
+  const auto views = make_views();
+  const auto order = fetch_policy_->order(views, cycle_);
+
+  u32 budget = cfg_.fetch_width;
+  u32 threads_fetched = 0;
+  for (ThreadId t : order) {
+    if (budget == 0 || threads_fetched >= cfg_.fetch_threads) break;
+    ThreadState& ts = threads_[t];
+    if (ts.fetch_stall_until > cycle_) continue;
+    if (ts.wrong_path && ts.wp_dead) continue;
+    if (ts.frontend.size() >= cfg_.frontend_buffer) continue;
+    if (!fetch_policy_->may_fetch(t, views)) {
+      stats_.counter("fetch.policy_gated").inc();
+      continue;
+    }
+
+    bool fetched_any = false;
+    while (budget > 0 && ts.frontend.size() < cfg_.frontend_buffer) {
+      if (!fetch_one(ts, t)) break;
+      fetched_any = true;
+      --budget;
+      const DynInst& last = ts.frontend.back();
+      if (last.is_ctrl() && last.pred.taken) break;  // redirect: resume next cycle
+      if (ts.wrong_path && ts.wp_dead) break;
+      if (ts.fetch_stall_until > cycle_) break;  // I-cache miss mid-run
+    }
+    if (fetched_any) ++threads_fetched;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+void SmtCore::do_early_release() {
+  // Sharkey & Ponomarev [24]: while a thread waits on an L2 miss and has no
+  // unresolved control flow in its window (so nothing can be squashed), any
+  // previous mapping whose value exists and has been read by every renamed
+  // consumer is dead — the redefining instruction will commit — and can be
+  // released before that commit.
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
+    ThreadState& ts = threads_[t];
+    if (ts.outstanding_l2 == 0 || ts.unresolved_ctrl > 0) continue;
+    ts.rob.for_each([&](DynInst& d) {
+      if (!d.dispatched || d.prev_dest_phys == kInvalidPhysReg || d.prev_freed_early)
+        return;
+      if (rename_.pending_readers(d.prev_dest_phys) != 0) return;
+      if (!rename_.is_value_ready(d.prev_dest_phys)) return;
+      rename_.early_free_prev(d);
+      stats_.counter("rename.early_released").inc();
+    });
+  }
+}
+
+void SmtCore::tick() {
+  process_events();
+  do_commit();
+  do_issue();
+  do_dispatch();
+  do_fetch();
+  if (cfg_.early_register_release) do_early_release();
+  rob_ctrl_->tick(cycle_);
+  ++cycle_;
+}
+
+void SmtCore::reset_measurement() {
+  cycle_base_ = cycle_;
+  for (auto& ts : threads_) ts.committed_base = ts.committed;
+  second_.reset_accounting(cycle_);
+  stats_.reset();
+  dod_true_.reset();
+  dod_proxy_.reset();
+  bpred_.stats().reset();
+  rob_ctrl_->stats().reset();
+  if (auto* p = rob_ctrl_->predictor()) p->stats().reset();
+  mem_.l1i().stats().reset();
+  mem_.l1d().stats().reset();
+  mem_.l2().stats().reset();
+  mem_.channel().stats().reset();
+}
+
+RunResult SmtCore::run(u64 commit_target, u64 max_cycles, u64 warmup_insts) {
+  if (max_cycles == 0) max_cycles = (warmup_insts + commit_target) * 400 + 200000;
+
+  auto fastest_measured = [&] {
+    u64 best = 0;
+    for (const auto& ts : threads_) best = std::max(best, ts.committed - ts.committed_base);
+    return best;
+  };
+
+  if (warmup_insts > 0) {
+    while (cycle_ < max_cycles && fastest_measured() < warmup_insts) tick();
+    reset_measurement();
+  }
+  while (cycle_ < max_cycles && fastest_measured() < commit_target) tick();
+  return snapshot_result();
+}
+
+RunResult SmtCore::snapshot_result() const {
+  RunResult r;
+  const Cycle measured_cycles = cycle_ - cycle_base_;
+  r.cycles = measured_cycles;
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
+    ThreadResult tr;
+    tr.benchmark = benchmarks_[t].name;
+    tr.committed = threads_[t].committed - threads_[t].committed_base;
+    tr.ipc = measured_cycles == 0
+                 ? 0.0
+                 : static_cast<double>(tr.committed) / static_cast<double>(measured_cycles);
+    r.threads.push_back(tr);
+  }
+  r.dod_true = dod_true_;
+  r.dod_proxy = dod_proxy_;
+
+  auto merge = [&r](const std::string& prefix, const StatGroup& g) {
+    for (const auto& [name, c] : g.counters_map()) r.counters[prefix + name] = c.value();
+  };
+  merge("core.", stats_);
+  merge("bpred.", const_cast<BranchPredictor&>(bpred_).stats());
+  merge("rob.", const_cast<TwoLevelRobController&>(*rob_ctrl_).stats());
+  auto& mem = const_cast<MemorySystem&>(mem_);
+  merge("l1i.", mem.l1i().stats());
+  merge("l1d.", mem.l1d().stats());
+  merge("l2.", mem.l2().stats());
+  merge("channel.", mem.channel().stats());
+  if (auto* p = const_cast<TwoLevelRobController&>(*rob_ctrl_).predictor())
+    merge("dodpred.", p->stats());
+  r.counters["rob2.allocations"] = second_.total_allocations();
+  r.counters["rob2.busy_cycles"] = second_.busy_cycles(cycle_);
+  return r;
+}
+
+}  // namespace tlrob

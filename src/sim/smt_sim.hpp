@@ -1,0 +1,180 @@
+// The cycle-level SMT out-of-order core.
+//
+// Organisation (functional-first, timing-directed, as in M-Sim): each
+// ThreadContext architecturally executes the correct path; the core's fetch
+// stage consumes that stream (or synthesises wrong-path instructions after a
+// detected misprediction), and the back end models Table 1's pipeline:
+// rename with shared physical register files, shared issue queue, functional
+// units, per-thread LSQs and per-thread ROBs with the optional shared
+// second-level partition managed by TwoLevelRobController.
+//
+// Stage evaluation order within a tick: events (completions / fills / miss
+// detections, which include branch resolution and squash) -> commit -> issue
+// -> dispatch -> fetch -> ROB-policy tick.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/load_hit_predictor.hpp"
+#include "branch/predictor.hpp"
+#include "memory/memory_system.hpp"
+#include "pipeline/dcra.hpp"
+#include "pipeline/fetch_policy.hpp"
+#include "pipeline/func_units.hpp"
+#include "pipeline/issue_queue.hpp"
+#include "pipeline/lsq.hpp"
+#include "pipeline/rename.hpp"
+#include "rob/allocation_policy.hpp"
+#include "rob/rob.hpp"
+#include "rob/two_level_rob.hpp"
+#include "sim/metrics.hpp"
+#include "sim/presets.hpp"
+#include "sim/trace.hpp"
+#include "workload/thread_context.hpp"
+
+namespace tlrob {
+
+class SmtCore {
+ public:
+  /// One Benchmark per hardware thread; `benchmarks.size()` must equal
+  /// cfg.num_threads.
+  SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks);
+
+  /// Runs until any thread has committed `commit_target` instructions or
+  /// `max_cycles` elapse (0 = derive a generous bound from the target).
+  /// `warmup_insts` commits per fastest thread are executed first and then
+  /// excluded from every statistic — the stand-in for the paper's Simpoint
+  /// fast-forwarding (cold caches otherwise dominate short runs).
+  RunResult run(u64 commit_target, u64 max_cycles = 0, u64 warmup_insts = 0);
+
+  /// Zeroes every statistic (counters, histograms, IPC baselines) while
+  /// preserving microarchitectural state. Used at the warmup boundary.
+  void reset_measurement();
+
+  /// Advances one cycle (exposed for tests).
+  void tick();
+
+  Cycle now() const { return cycle_; }
+  u64 committed(ThreadId t) const { return threads_[t].committed; }
+  u32 outstanding_l1(ThreadId t) const { return threads_[t].outstanding_l1; }
+  u32 outstanding_l2(ThreadId t) const { return threads_[t].outstanding_l2; }
+  const ReorderBuffer& rob(ThreadId t) const { return threads_[t].rob; }
+  const IssueQueue& issue_queue() const { return iq_; }
+  MemorySystem& memory() { return mem_; }
+  TwoLevelRobController& rob_controller() { return *rob_ctrl_; }
+  SecondLevelRob& second_level() { return second_; }
+  RenameUnit& rename_unit() { return rename_; }
+  BranchPredictor& branch_predictor() { return bpred_; }
+  StatGroup& stats() { return stats_; }
+  PipelineTracer& tracer() { return tracer_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Builds the RunResult for the current state (run() calls this at exit).
+  RunResult snapshot_result() const;
+
+ private:
+  struct ThreadState {
+    std::unique_ptr<ThreadContext> ctx;
+    ReorderBuffer rob;
+    LoadStoreQueue lsq;
+    std::deque<DynInst> frontend;  // fetched, awaiting dispatch (oldest front)
+    std::unordered_map<Addr, u32> block_of_pc;
+
+    u64 next_tseq = 1;
+    u64 committed = 0;
+    u64 committed_base = 0;  // committed count at the last measurement reset
+
+    // Fetch state.
+    bool wrong_path = false;  // fetching down a mispredicted path
+    bool wp_dead = false;     // wrong-path cursor fell off the CFG
+    u32 wp_block = 0;
+    u32 wp_index = 0;
+    Cycle fetch_stall_until = 0;
+
+    // Outstanding-miss accounting (STALL/FLUSH gating, DCRA classification).
+    u32 outstanding_l1 = 0;
+    u32 outstanding_l2 = 0;
+    u32 unresolved_ctrl = 0;  // dispatched control ops not yet resolved
+
+    ThreadState(u32 rob_cap, u32 lsq_cap) : rob(rob_cap), lsq(lsq_cap) {}
+  };
+
+  enum class EvKind : u8 { kFuComplete, kLoadFill, kL2MissDetect, kLoadReplay };
+  struct Event {
+    Cycle when;
+    u64 order;  // FIFO tie-break for determinism
+    EvKind kind;
+    InstRef ref;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.order > b.order;
+    }
+  };
+
+  // -- stages ---------------------------------------------------------------
+  void process_events();
+  void do_commit();
+  void do_issue();
+  void do_dispatch();
+  void do_fetch();
+  void do_early_release();
+
+  // -- helpers ----------------------------------------------------------------
+  std::vector<ThreadFetchView> make_views() const;
+  DynInst* find_inst(const InstRef& ref);
+  void schedule(Cycle when, EvKind kind, const DynInst& di);
+  void handle_fu_complete(DynInst& di);
+  void handle_load_fill(DynInst& di);
+  void handle_l2_miss_detect(DynInst& di);
+  void handle_load_replay(DynInst& di);
+  void finish_execution(DynInst& di);
+  void resolve_control(DynInst& di);
+  void squash_after(ThreadId tid, u64 tseq);
+  void undispatch_after(ThreadId tid, u64 tseq);
+  void drop_outstanding_counts(DynInst& di);
+  bool fetch_one(ThreadState& ts, ThreadId tid);
+  DynInst make_correct_path_inst(ThreadState& ts, ThreadId tid);
+  DynInst make_wrong_path_inst(ThreadState& ts, ThreadId tid);
+  void predict_and_steer(ThreadState& ts, DynInst& di);
+  bool try_dispatch_one(ThreadState& ts, ThreadId tid);
+  bool issue_one(DynInst& di);
+  void issue_load(DynInst& di);
+  void replay_dependents_of(PhysReg reg);
+  Addr icache_addr(const ThreadState& ts, Addr pc) const {
+    return ts.ctx->addr_space_base() + pc;
+  }
+
+  MachineConfig cfg_;
+  std::vector<Benchmark> benchmarks_;
+  std::vector<ThreadState> threads_;
+  RenameUnit rename_;
+  IssueQueue iq_;
+  FuncUnitPool fus_;
+  MemorySystem mem_;
+  BranchPredictor bpred_;
+  LoadHitPredictor lhp_;
+  DcraController dcra_;
+  std::unique_ptr<FetchPolicy> fetch_policy_;
+  SecondLevelRob second_;
+  std::unique_ptr<TwoLevelRobController> rob_ctrl_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  u64 event_order_ = 0;
+  Cycle cycle_ = 0;
+  Cycle cycle_base_ = 0;  // cycle count at the last measurement reset
+  SeqNum next_seq_ = 1;
+  u64 commit_rr_ = 0;
+  Rng wp_rng_;
+
+  StatGroup stats_;
+  PipelineTracer tracer_;
+  Histogram dod_true_{31};
+  Histogram dod_proxy_{31};
+};
+
+}  // namespace tlrob

@@ -1,0 +1,72 @@
+#include "workload/addr_gen.hpp"
+
+#include <algorithm>
+
+namespace tlrob {
+namespace {
+
+constexpr u64 kLineBytes = 64;
+
+// Chooses a multiplier coprime with `n` so that idx -> (idx*mult + 1) % n
+// cycles through all residues for power-of-two n (odd multiplier), giving a
+// full-cycle pseudo-random line permutation for pointer chasing.
+u64 choose_multiplier(u64 n, Rng& rng) {
+  if (n <= 2) return 1;
+  u64 m = rng.below(n) | 1;  // odd
+  // For power-of-two n an odd multiplier is always coprime; for other n,
+  // nudge until gcd == 1.
+  auto gcd = [](u64 a, u64 b) {
+    while (b != 0) {
+      u64 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  while (gcd(m, n) != 1) m += 2;
+  return m % n == 0 ? 1 : m;
+}
+
+}  // namespace
+
+AddrGen::AddrGen(const AddrGenSpec& spec, Addr thread_base, u64 thread_salt)
+    : spec_(spec),
+      base_(thread_base + spec.base),
+      rng_(spec.seed * 0x9e3779b97f4a7c15ULL + thread_salt) {
+  lines_ = std::max<u64>(1, spec_.region_bytes / kLineBytes);
+  lcg_mult_ = choose_multiplier(lines_, rng_);
+  pos_ = rng_.below(lines_);
+}
+
+Addr AddrGen::next() {
+  const u64 region = std::max<u64>(spec_.region_bytes, spec_.access_size);
+  switch (spec_.pattern) {
+    case AddrPattern::kStride: {
+      const u64 offset = pos_ % region;
+      pos_ += static_cast<u64>(spec_.stride);
+      return base_ + offset;
+    }
+    case AddrPattern::kRandom: {
+      u64 span = region;
+      if (spec_.hot_fraction > 0.0 && spec_.hot_bytes > 0 && rng_.chance(spec_.hot_fraction))
+        span = std::min<u64>(region, spec_.hot_bytes);
+      const u64 slots = std::max<u64>(1, span / spec_.access_size);
+      return base_ + rng_.below(slots) * spec_.access_size;
+    }
+    case AddrPattern::kPointerChase: {
+      const u32 revisits = std::max<u32>(1, spec_.line_revisits);
+      const u64 field = visit_ % revisits;
+      if (field == 0) pos_ = (pos_ * lcg_mult_ + 1) % lines_;
+      ++visit_;
+      return base_ + pos_ * kLineBytes + field * spec_.access_size % kLineBytes;
+    }
+    case AddrPattern::kStack: {
+      const u64 slots = std::max<u64>(1, region / spec_.access_size);
+      pos_ = (pos_ + 1) % slots;
+      return base_ + pos_ * spec_.access_size;
+    }
+  }
+  return base_;
+}
+
+}  // namespace tlrob

@@ -1,0 +1,74 @@
+// Address generators: the data-access behaviour of synthetic benchmarks.
+//
+// Each static load/store in a program references an AddrGenSpec; every thread
+// instantiates its own stateful AddrGen per spec so that two copies of the
+// same benchmark produce independent (but deterministic) address streams.
+//
+// Patterns map to the paper's workload classes:
+//   kStride        — streaming FP codes (swim, mgrid, lucas): high spatial
+//                    locality, periodic L1/L2 misses when the working set is
+//                    larger than a cache level.
+//   kRandom        — scattered accesses over a working set (art, equake):
+//                    independent misses => high memory-level parallelism.
+//   kPointerChase  — linked-structure traversal (mcf, ammp, twolf): a full-
+//                    cycle permutation over the working set's cache lines, so
+//                    every access touches a new line; combined with a
+//                    register dependence on the previous load this yields
+//                    serialized misses.
+//   kStack         — small, hot region (locals/globals): always cache
+//                    resident.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tlrob {
+
+enum class AddrPattern : u8 { kStride, kRandom, kPointerChase, kStack };
+
+struct AddrGenSpec {
+  AddrPattern pattern = AddrPattern::kStack;
+  /// Region base, relative to the thread's address-space base.
+  Addr base = 0;
+  /// Working-set size in bytes; accesses stay within [base, base+region).
+  u64 region_bytes = 4096;
+  /// kStride only: byte distance between consecutive accesses.
+  i64 stride = 8;
+  /// Access granularity in bytes (1..64).
+  u32 access_size = 8;
+  /// kPointerChase only: consecutive accesses to the same node line before
+  /// chasing to the next one (node-field locality — a node of a real linked
+  /// structure spans several fields in one cache line, so only the first
+  /// access per node misses).
+  u32 line_revisits = 1;
+  /// kRandom only: fraction of accesses steered into the first `hot_bytes`
+  /// of the region (temporal locality of real codes); the remainder is
+  /// uniform over the whole region and supplies a controlled cold-miss tail.
+  /// 0 disables (fully uniform).
+  double hot_fraction = 0.0;
+  u64 hot_bytes = 0;
+  /// Seed component mixed with the thread salt.
+  u64 seed = 1;
+};
+
+/// Stateful per-thread generator instantiated from a spec.
+class AddrGen {
+ public:
+  AddrGen(const AddrGenSpec& spec, Addr thread_base, u64 thread_salt);
+
+  /// Produces the next address of the stream and advances.
+  Addr next();
+
+  const AddrGenSpec& spec() const { return spec_; }
+
+ private:
+  AddrGenSpec spec_;
+  Addr base_;       // absolute region base (thread_base + spec.base)
+  u64 lines_;       // region size in 64-byte lines (for permutation walks)
+  u64 pos_ = 0;     // stride offset or permutation index
+  u64 visit_ = 0;   // kPointerChase: accesses so far (node-field locality)
+  u64 lcg_mult_ = 1;
+  Rng rng_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,26 @@
+#include "workload/branch_gen.hpp"
+
+#include <algorithm>
+
+namespace tlrob {
+
+BranchGen::BranchGen(const BranchGenSpec& spec, u64 thread_salt)
+    : spec_(spec), rng_(spec.seed * 0xd1342543de82ef95ULL + thread_salt) {
+  spec_.trip = std::max<u32>(1, spec_.trip);
+}
+
+bool BranchGen::next() {
+  switch (spec_.pattern) {
+    case BranchPattern::kLoop:
+    case BranchPattern::kPeriodic: {
+      const bool taken = (count_ + 1) % spec_.trip != 0;
+      ++count_;
+      return taken;
+    }
+    case BranchPattern::kBiased:
+      return rng_.chance(spec_.p_taken);
+  }
+  return false;
+}
+
+}  // namespace tlrob

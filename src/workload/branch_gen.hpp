@@ -1,0 +1,42 @@
+// Outcome generators for conditional branches in synthetic programs.
+//
+// Loop back-edges dominate real codes and are what makes gshare effective;
+// biased data-dependent branches supply the residual mispredictions. Only
+// correct-path execution consults these generators (wrong-path instructions
+// never advance architectural state), so no checkpointing is needed.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tlrob {
+
+enum class BranchPattern : u8 {
+  kLoop,      // taken (trip-1) times, then not-taken once, repeating
+  kBiased,    // independent Bernoulli with probability p_taken
+  kPeriodic,  // deterministic period: taken except every `period`-th time
+};
+
+struct BranchGenSpec {
+  BranchPattern pattern = BranchPattern::kLoop;
+  u32 trip = 16;          // kLoop / kPeriodic period
+  double p_taken = 0.5;   // kBiased
+  u64 seed = 1;
+};
+
+class BranchGen {
+ public:
+  BranchGen(const BranchGenSpec& spec, u64 thread_salt);
+
+  /// Produces the next outcome (true = taken) and advances.
+  bool next();
+
+  const BranchGenSpec& spec() const { return spec_; }
+
+ private:
+  BranchGenSpec spec_;
+  u32 count_ = 0;
+  Rng rng_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,425 @@
+#include "workload/kernels.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "isa/program_builder.hpp"
+
+namespace tlrob {
+namespace {
+
+/// Wraps ProgramBuilder with generator-spec bookkeeping and a simple data
+/// layout allocator (regions are placed back to back, 4 KB aligned, within
+/// the thread's address space).
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) : name_(name), pb_(std::move(name)) {}
+
+  u32 agen(AddrPattern pattern, u64 region_bytes, i64 stride = 8, u32 access_size = 8,
+           u32 line_revisits = 1) {
+    AddrGenSpec s;
+    s.pattern = pattern;
+    s.base = next_base_;
+    s.region_bytes = region_bytes;
+    s.stride = stride;
+    s.access_size = access_size;
+    s.line_revisits = line_revisits;
+    s.seed = agens_.size() + 1;
+    next_base_ += (region_bytes + 0xfffULL) & ~0xfffULL;
+    agens_.push_back(s);
+    return static_cast<u32>(agens_.size() - 1);
+  }
+
+  /// Full-spec variant: caller sets pattern fields; base/seed are assigned.
+  u32 agen(AddrGenSpec s) {
+    s.base = next_base_;
+    s.seed = agens_.size() + 1;
+    next_base_ += (s.region_bytes + 0xfffULL) & ~0xfffULL;
+    agens_.push_back(s);
+    return static_cast<u32>(agens_.size() - 1);
+  }
+
+  u32 bgen(BranchPattern pattern, u32 trip, double p_taken = 0.5) {
+    BranchGenSpec s;
+    s.pattern = pattern;
+    s.trip = trip;
+    s.p_taken = p_taken;
+    s.seed = bgens_.size() + 1;
+    bgens_.push_back(s);
+    return static_cast<u32>(bgens_.size() - 1);
+  }
+
+  ProgramBuilder& pb() { return pb_; }
+
+  Benchmark finish(IlpClass expected) {
+    Benchmark b;
+    b.name = name_;
+    b.program = std::make_shared<Program>(
+        pb_.build(static_cast<u32>(agens_.size()), static_cast<u32>(bgens_.size())));
+    b.agens = std::move(agens_);
+    b.bgens = std::move(bgens_);
+    b.expected_class = expected;
+    return b;
+  }
+
+ private:
+  std::string name_;
+  ProgramBuilder pb_;
+  std::vector<AddrGenSpec> agens_;
+  std::vector<BranchGenSpec> bgens_;
+  Addr next_base_ = 0x10000000;  // data segment within the thread space
+};
+
+}  // namespace
+
+Benchmark make_random_gather(const std::string& name, const RandomGatherParams& p,
+                             IlpClass expected) {
+  KernelBuilder kb(name);
+  auto& pb = kb.pb();
+  AddrGenSpec data_spec;
+  data_spec.pattern = AddrPattern::kRandom;
+  data_spec.region_bytes = p.working_set_bytes;
+  data_spec.hot_fraction = p.reuse_fraction;
+  data_spec.hot_bytes = p.reuse_bytes;
+  const u32 data = kb.agen(data_spec);
+  const u32 hot = kb.agen(AddrPattern::kStack, 16 << 10);
+  const u32 out = kb.agen(AddrPattern::kStride, 256 << 10, 8);
+  u32 reduce_data = 0;
+  if (p.reduce_trip > 0) {
+    AddrGenSpec rs;
+    rs.pattern = AddrPattern::kRandom;
+    rs.region_bytes = std::max<u64>(p.working_set_bytes, 1 << 20);
+    rs.hot_fraction = 1.0 - p.reduce_cold_fraction;
+    rs.hot_bytes = std::max<u64>(p.reuse_bytes, 64 << 10);
+    reduce_data = kb.agen(rs);
+  }
+  const u32 loop = kb.bgen(BranchPattern::kLoop, p.inner_trip);
+  const u32 rloop = p.reduce_trip > 0 ? kb.bgen(BranchPattern::kLoop, p.reduce_trip) : 0;
+
+  const u32 entry = pb.current_block();
+  const u32 head = pb.new_block();
+  const u32 reduce = p.reduce_trip > 0 ? pb.new_block() : 0;
+  const u32 tail = pb.new_block();
+
+  pb.in(entry).int_alu(ireg(1)).int_alu(ireg(2), ireg(1)).jump(head);
+
+  pb.in(head);
+  for (u32 l = 0; l < p.loads_per_iter; ++l) {
+    const ArchReg dst = p.fp ? freg(l) : ireg(4 + l);
+    pb.load(dst, data, ireg(1));  // address depends only on the loop-invariant base
+    // Terminal dependents: each consumes the loaded value directly and feeds
+    // nothing else, so the load's Degree of Dependence is exactly
+    // dep_ops_per_load (the small-DoD structure of Figure 1).
+    for (u32 d = 0; d < p.dep_ops_per_load; ++d) {
+      const ArchReg t = p.fp ? freg(16 + (l * p.dep_ops_per_load + d) % 16)
+                             : ireg(16 + (l * p.dep_ops_per_load + d) % 16);
+      if (p.fp)
+        pb.fp_add(t, dst, freg(15))  /* invariant operand */;
+      else
+        pb.int_alu(t, dst, ireg(15));
+    }
+  }
+  for (u32 h = 0; h < p.hot_loads_per_iter; ++h)
+    pb.load(ireg(8 + h % 4), hot, ireg(2));
+  // Load-independent filler on four parallel accumulator chains, so it
+  // issues at machine width instead of serialising in the issue queue.
+  for (u32 i = 0; i < p.indep_ops_per_iter; ++i)
+    pb.int_alu(ireg(24 + (i % 4)), ireg(24 + (i % 4)), ireg(3));
+  for (u32 s = 0; s < p.stores_per_iter; ++s)
+    pb.store(out, p.fp ? freg(16) : ireg(16));
+  pb.int_alu(ireg(1), ireg(1));  // induction update
+  pb.branch(loop, head, ireg(1));
+  pb.fallthrough(head, p.reduce_trip > 0 ? reduce : tail);
+
+  if (p.reduce_trip > 0) {
+    // Issue-bound phase: a serial accumulation over the reuse set. A load
+    // that misses here has every younger chain op dependent on it — high
+    // DoD, precisely the case the two-level controller must not reward.
+    pb.in(reduce);
+    pb.load(freg(20), reduce_data, ireg(2));
+    ArchReg acc = freg(21);
+    pb.fp_add(acc, acc, freg(20));
+    for (u32 o = 1; o < p.reduce_serial_ops; ++o) {
+      if (o % 3 == 2)
+        pb.fp_mult(acc, acc, freg(20));
+      else
+        pb.fp_add(acc, acc, freg(20));
+    }
+    pb.int_alu(ireg(6), ireg(6));
+    pb.branch(rloop, reduce, ireg(6));
+    pb.fallthrough(reduce, tail);
+  }
+
+  pb.in(tail).int_alu(ireg(3), ireg(3)).jump(head);
+  pb.fallthrough(tail, head);
+  pb.fallthrough(entry, head);
+
+  return kb.finish(expected);
+}
+
+Benchmark make_pointer_chase(const std::string& name, const PointerChaseParams& p,
+                             IlpClass expected) {
+  KernelBuilder kb(name);
+  auto& pb = kb.pb();
+  std::vector<u32> chain_agens;
+  for (u32 c = 0; c < p.chains; ++c)
+    chain_agens.push_back(kb.agen(AddrPattern::kPointerChase, p.working_set_bytes / p.chains,
+                                  8, 8, p.node_fields));
+  const u32 hot = kb.agen(AddrPattern::kStack, 16 << 10);
+  const u32 loop = kb.bgen(BranchPattern::kLoop, p.inner_trip);
+
+  const u32 entry = pb.current_block();
+  const u32 head = pb.new_block();
+  const u32 tail = pb.new_block();
+
+  pb.in(entry);
+  for (u32 c = 0; c < p.chains; ++c) pb.int_alu(ireg(1 + c));
+  pb.jump(head);
+
+  pb.in(head);
+  for (u32 c = 0; c < p.chains; ++c) {
+    const ArchReg ptr = ireg(1 + c);
+    for (u32 l = 0; l < p.loads_per_chain_iter; ++l) {
+      pb.load(ptr, chain_agens[c], ptr);  // next pointer depends on this load
+      ArchReg prev = ptr;
+      for (u32 d = 0; d < p.dep_ops_per_load; ++d) {
+        const ArchReg t = p.fp ? freg((c * 8 + d) % 32) : ireg(8 + (c * 8 + d) % 20);
+        if (p.fp)
+          pb.fp_add(t, prev, t);
+        else
+          pb.int_alu(t, prev, t);
+        prev = t;
+      }
+    }
+  }
+  for (u32 h = 0; h < p.hot_loads_per_iter; ++h)
+    pb.load(ireg(28 + h % 2), hot, ireg(30));
+  pb.int_alu(ireg(30), ireg(30));
+  pb.branch(loop, head, ireg(30));
+  pb.fallthrough(head, tail);
+
+  pb.in(tail).int_alu(ireg(31), ireg(31)).jump(head);
+  pb.fallthrough(tail, head);
+  pb.fallthrough(entry, head);
+
+  return kb.finish(expected);
+}
+
+Benchmark make_stream(const std::string& name, const StreamParams& p, IlpClass expected) {
+  KernelBuilder kb(name);
+  auto& pb = kb.pb();
+  std::vector<u32> in_streams;
+  for (u32 s = 0; s < p.streams; ++s)
+    in_streams.push_back(
+        kb.agen(AddrPattern::kStride, p.working_set_bytes / (p.streams + 1), p.stride));
+  const u32 out =
+      kb.agen(AddrPattern::kStride, p.working_set_bytes / (p.streams + 1), p.stride);
+  u32 table = 0;
+  if (p.reuse_bytes > 0) {
+    AddrGenSpec ts;
+    ts.pattern = AddrPattern::kRandom;
+    ts.region_bytes = p.reuse_bytes;
+    ts.hot_fraction = 1.0;
+    ts.hot_bytes = p.reuse_bytes;
+    table = kb.agen(ts);
+  }
+  u32 reduce_data = 0;
+  if (p.reduce_trip > 0) {
+    AddrGenSpec rs;
+    rs.pattern = AddrPattern::kRandom;
+    rs.region_bytes = std::max<u64>(p.working_set_bytes, 1 << 20);
+    rs.hot_fraction = 1.0 - p.reduce_cold_fraction;
+    rs.hot_bytes = std::max<u64>(p.reuse_bytes, 64 << 10);
+    reduce_data = kb.agen(rs);
+  }
+  const u32 loop = kb.bgen(BranchPattern::kLoop, p.inner_trip);
+  const u32 rloop = p.reduce_trip > 0 ? kb.bgen(BranchPattern::kLoop, p.reduce_trip) : 0;
+
+  const u32 entry = pb.current_block();
+  const u32 head = pb.new_block();
+  const u32 reduce = p.reduce_trip > 0 ? pb.new_block() : 0;
+  const u32 tail = pb.new_block();
+
+  pb.in(entry).int_alu(ireg(1)).jump(head);
+
+  pb.in(head);
+  for (u32 s = 0; s < p.streams; ++s) {
+    const ArchReg elem = freg(s);
+    pb.load(elem, in_streams[s], ireg(1));
+    // One terminal consumer per loaded element (low DoD per missing load);
+    // the remaining FP work runs on stream-independent chains, so it issues
+    // as soon as functional units allow instead of piling up in the IQ
+    // behind an outstanding miss.
+    for (u32 d = 0; d < p.dep_consumers; ++d)
+      pb.fp_add(freg(8 + (s * p.dep_consumers + d) % 8), elem, freg(7));
+    for (u32 f = 1; f < p.fp_ops_per_elem; ++f) {
+      const ArchReg w = freg(16 + (s * p.fp_ops_per_elem + f) % 16);
+      if (f % 3 == 2)
+        pb.fp_mult(w, w, freg(6));
+      else
+        pb.fp_add(w, w, freg(6));
+    }
+  }
+  if (p.reuse_bytes > 0) {
+    // Table lookups (stencil coefficients / previous sweep): resident when
+    // running alone, evicted under cache sharing; one terminal dependent
+    // each, so an L2 miss here has a small DoD.
+    for (u32 r = 0; r < p.reuse_loads_per_iter; ++r) {
+      pb.load(freg(4 + r % 2), table, ireg(1));
+      for (u32 d = 0; d < p.dep_consumers; ++d)
+        pb.fp_add(freg(12 + (r * p.dep_consumers + d) % 4), freg(4 + r % 2), freg(7));
+    }
+  }
+  for (u32 s = 0; s < p.stores_per_iter; ++s) pb.store(out, freg(8));
+  pb.int_alu(ireg(1), ireg(1));
+  pb.branch(loop, head, ireg(1));
+  pb.fallthrough(head, p.reduce_trip > 0 ? reduce : tail);
+
+  if (p.reduce_trip > 0) {
+    pb.in(reduce);
+    pb.load(freg(20), reduce_data, ireg(1));
+    ArchReg acc = freg(21);
+    for (u32 o = 0; o < p.reduce_serial_ops; ++o) {
+      if (o % 3 == 2)
+        pb.fp_mult(acc, acc, freg(20));
+      else
+        pb.fp_add(acc, acc, freg(20));
+    }
+    pb.int_alu(ireg(5), ireg(5));
+    pb.branch(rloop, reduce, ireg(5));
+    pb.fallthrough(reduce, tail);
+  }
+
+  pb.in(tail).int_alu(ireg(2), ireg(2)).jump(head);
+  pb.fallthrough(tail, head);
+  pb.fallthrough(entry, head);
+
+  return kb.finish(expected);
+}
+
+Benchmark make_compute(const std::string& name, const ComputeParams& p, IlpClass expected) {
+  KernelBuilder kb(name);
+  auto& pb = kb.pb();
+  const u32 hot = kb.agen(AddrPattern::kStack, p.hot_set_bytes);
+  const u32 loop = kb.bgen(BranchPattern::kLoop, p.inner_trip);
+
+  const u32 entry = pb.current_block();
+  const u32 head = pb.new_block();
+  const u32 callee = p.use_call ? pb.new_block() : 0;
+  const u32 after_call = p.use_call ? pb.new_block() : 0;
+  const u32 tail = pb.new_block();
+
+  pb.in(entry).int_alu(ireg(1)).jump(head);
+
+  const u32 fp_chains = static_cast<u32>(p.fp_fraction * p.chains + 0.5);
+  pb.in(head);
+  for (u32 l = 0; l < p.loads_per_iter; ++l) pb.load(ireg(24 + l % 4), hot, ireg(1));
+  // Independent dependence chains: chain c accumulates into its own register
+  // from registers no chain writes (freg(24..31) / the hot-load results), so
+  // the exploitable ILP equals `chains`.
+  for (u32 step = 0; step < p.chain_len; ++step) {
+    for (u32 c = 0; c < p.chains; ++c) {
+      if (c < fp_chains) {
+        const ArchReg r = freg(c);
+        if (step % 4 == 3)
+          pb.fp_mult(r, r, freg(24 + c % 8));
+        else
+          pb.fp_add(r, r, freg(24 + c % 8));
+      } else {
+        const ArchReg r = ireg(2 + c);
+        if (step % 5 == 4)
+          pb.int_mult(r, r, ireg(24));
+        else
+          pb.int_alu(r, r, ireg(24 + c % 4));
+      }
+    }
+  }
+  if (p.use_call) {
+    pb.call(callee);
+    pb.fallthrough(head, after_call);
+    pb.in(callee).int_alu(ireg(20), ireg(2)).int_alu(ireg(21), ireg(20)).ret();
+    pb.fallthrough(callee, after_call);
+    pb.in(after_call);
+  }
+  pb.store(hot, ireg(2));
+  pb.int_alu(ireg(1), ireg(1));
+  pb.branch(loop, head, ireg(1));
+  pb.fallthrough(p.use_call ? after_call : head, tail);
+  if (p.use_call) pb.fallthrough(head, after_call);
+
+  pb.in(tail).int_alu(ireg(30), ireg(30)).jump(head);
+  pb.fallthrough(tail, head);
+  pb.fallthrough(entry, head);
+
+  return kb.finish(expected);
+}
+
+Benchmark make_branchy_int(const std::string& name, const BranchyIntParams& p,
+                           IlpClass expected) {
+  KernelBuilder kb(name);
+  auto& pb = kb.pb();
+  AddrGenSpec data_spec;
+  data_spec.pattern = AddrPattern::kRandom;
+  data_spec.region_bytes = p.working_set_bytes;
+  data_spec.hot_fraction = 1.0 - p.cold_fraction;
+  data_spec.hot_bytes = p.hot_bytes;
+  const u32 data = kb.agen(data_spec);
+  const u32 stack = kb.agen(AddrPattern::kStack, 8 << 10);
+  const u32 loop = kb.bgen(BranchPattern::kLoop, p.inner_trip);
+
+  const u32 entry = pb.current_block();
+  const u32 head = pb.new_block();
+
+  pb.in(entry).int_alu(ireg(1)).jump(head);
+  pb.fallthrough(entry, head);
+
+  pb.in(head);
+  // The first load reads hot metadata (dictionary headers, tables): branch
+  // conditions hang off it, so control resolves at cache-hit latency even
+  // when the data-side loads miss — real branchy integer codes decide from
+  // hot structures, not from the cold payload they fetch.
+  pb.load(ireg(4), stack, ireg(1));
+  for (u32 l = 1; l < p.loads_per_iter; ++l) {
+    pb.load(ireg(4 + l % 8), l % 2 == 0 ? stack : data, ireg(1));
+    ArchReg prev = ireg(4 + l % 8);
+    for (u32 d = 0; d < p.dep_ops_per_load; ++d) {
+      const ArchReg t = ireg(12 + (l * p.dep_ops_per_load + d) % 12);
+      pb.int_alu(t, prev, t);
+      prev = t;
+    }
+  }
+
+  // Data-dependent diamonds: branch on the hot metadata value.
+  u32 cur = head;
+  for (u32 b = 0; b < p.branches_per_iter; ++b) {
+    const u32 bg = kb.bgen(BranchPattern::kBiased, 2, p.branch_bias);
+    const u32 then_blk = pb.new_block();
+    const u32 join = pb.new_block();
+    pb.in(cur).branch(bg, join, ireg(4));
+    pb.fallthrough(cur, then_blk);
+    pb.in(then_blk).int_alu(ireg(12 + b % 12), ireg(12 + b % 12)).int_alu(ireg(24), ireg(24));
+    pb.fallthrough(then_blk, join);
+    pb.in(join);
+    cur = join;
+  }
+  for (u32 s = 0; s < p.stores_per_iter; ++s) pb.store(stack, ireg(12));
+  if (p.use_call) {
+    const u32 callee = pb.new_block();
+    const u32 back = pb.new_block();
+    pb.in(cur).call(callee);
+    pb.fallthrough(cur, back);
+    pb.in(callee).int_alu(ireg(25), ireg(12)).ret();
+    pb.fallthrough(callee, back);
+    pb.in(back);
+    cur = back;
+  }
+  const u32 tail = pb.new_block();
+  pb.in(cur).int_alu(ireg(1), ireg(1)).branch(loop, head, ireg(1));
+  pb.fallthrough(cur, tail);
+  pb.in(tail).int_alu(ireg(2), ireg(2)).jump(head);
+  pb.fallthrough(tail, head);
+
+  return kb.finish(expected);
+}
+
+}  // namespace tlrob

@@ -1,0 +1,122 @@
+// Parameterisable kernel archetypes from which the SPEC-named synthetic
+// benchmarks (spec_profiles.cpp) are instantiated.
+//
+// Each archetype reproduces the *timing-relevant* structure of a class of
+// SPEC 2000 codes: dependence shape (what the paper's DoD metric measures),
+// memory access pattern / working-set size (what determines L2 miss rate and
+// attainable memory-level parallelism), branch behaviour, and instruction
+// mix. See DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <string>
+
+#include "workload/thread_context.hpp"
+
+namespace tlrob {
+
+/// Independent scattered loads over a large working set, each with a short
+/// private dependence chain (art / equake / lucas shape). Low DoD per miss,
+/// high MLP potential — the prime beneficiary of a second-level ROB.
+struct RandomGatherParams {
+  u64 working_set_bytes = 16 << 20;
+  /// Temporal-locality structure of the gather stream: `reuse_fraction` of
+  /// accesses land in the first `reuse_bytes` of the region (resident when
+  /// the thread has the L2 to itself; evicted under sharing — the source of
+  /// the benchmark's SMT slowdown), the rest sweep the whole working set.
+  double reuse_fraction = 0.0;
+  u64 reuse_bytes = 0;
+  u32 loads_per_iter = 8;       // independent cold loads per loop iteration
+  u32 hot_loads_per_iter = 4;   // cache-resident loads (index/metadata reads)
+  u32 dep_ops_per_load = 2;     // dependent arithmetic per cold load
+  bool fp = true;               // FP vs integer arithmetic
+  u32 indep_ops_per_iter = 4;   // load-independent filler arithmetic
+  u32 inner_trip = 64;          // inner loop trip count
+  u32 stores_per_iter = 1;
+  /// Serial-reduction phase interleaved with the gather phase (the
+  /// issue-bound phases of Sharkey et al. [23]): `reduce_trip` iterations of
+  /// a serially dependent accumulation whose loads mostly hit the reuse set
+  /// but occasionally miss with a HIGH degree of dependence — the loads the
+  /// DoD filter must reject. 0 disables.
+  u32 reduce_trip = 160;
+  u32 reduce_serial_ops = 5;
+  double reduce_cold_fraction = 0.08;
+};
+Benchmark make_random_gather(const std::string& name, const RandomGatherParams& p,
+                             IlpClass expected = IlpClass::kLow);
+
+/// Serially dependent loads (each load's address depends on the previous
+/// load's result) — mcf / ammp / twolf shape. Nearly everything younger than
+/// a missing load depends on it => high DoD, little MLP.
+struct PointerChaseParams {
+  u64 working_set_bytes = 32 << 20;
+  u32 chains = 1;               // number of independent chase chains (MLP cap)
+  u32 loads_per_chain_iter = 2; // chained loads per chain per iteration
+  u32 node_fields = 3;          // loads landing in the same node line (only
+                                // the first misses — node-field locality)
+  u32 dep_ops_per_load = 3;     // arithmetic dependent on each loaded value
+  u32 hot_loads_per_iter = 2;   // cache-resident bookkeeping loads
+  bool fp = false;
+  u32 inner_trip = 128;
+};
+Benchmark make_pointer_chase(const std::string& name, const PointerChaseParams& p,
+                             IlpClass expected = IlpClass::kLow);
+
+/// Strided streaming over large arrays with dependent FP arithmetic and a
+/// strided store stream (swim / mgrid / apsi shape). Misses are periodic and
+/// independent; DoD per missing load is small.
+struct StreamParams {
+  u64 working_set_bytes = 8 << 20;
+  /// Size of the re-read table (coefficients / previous sweep's plane):
+  /// resident when the thread has the cache to itself, the contended part
+  /// of the working set under SMT. 0 disables.
+  u64 reuse_bytes = 0;
+  u32 reuse_loads_per_iter = 1;
+  u32 dep_consumers = 5;        // terminal consumers per loaded element (DoD)
+  u32 streams = 3;              // concurrent input streams
+  u32 fp_ops_per_elem = 3;      // FP work per loaded element
+  u32 stores_per_iter = 1;
+  i64 stride = 8;
+  u32 inner_trip = 256;
+  /// Serial recurrence phase (time-step update): as in the gather kernel,
+  /// a high-DoD phase the two-level controller should not reward. 0 = off.
+  u32 reduce_trip = 128;
+  u32 reduce_serial_ops = 4;
+  double reduce_cold_fraction = 0.08;
+};
+Benchmark make_stream(const std::string& name, const StreamParams& p,
+                      IlpClass expected = IlpClass::kLow);
+
+/// Cache-resident computation with wide independent chains and well-predicted
+/// branches (crafty / eon / gzip shape). High IPC, no L2 misses.
+struct ComputeParams {
+  u32 chains = 6;               // parallel dependence chains
+  u32 chain_len = 4;            // ops per chain per iteration
+  double fp_fraction = 0.0;     // fraction of chains doing FP work
+  u64 hot_set_bytes = 16 << 10; // resident working set
+  u32 loads_per_iter = 2;
+  u32 inner_trip = 64;
+  bool use_call = true;         // exercise call/return + RAS
+};
+Benchmark make_compute(const std::string& name, const ComputeParams& p,
+                       IlpClass expected = IlpClass::kHigh);
+
+/// Branchy integer code over a medium working set (parser / vpr / perlbmk /
+/// bzip2 shape): data-dependent branches, mixed hit/miss loads.
+struct BranchyIntParams {
+  u64 working_set_bytes = 3 << 20;
+  /// Fraction of data-side accesses that fall outside the hot subset (the
+  /// sustained cold/capacity-miss tail); the rest hit `hot_bytes`.
+  double cold_fraction = 0.05;
+  u64 hot_bytes = 24 << 10;
+  u32 loads_per_iter = 3;
+  u32 dep_ops_per_load = 2;
+  u32 branches_per_iter = 2;
+  double branch_bias = 0.85;    // taken probability of data-dependent branches
+  u32 inner_trip = 48;
+  u32 stores_per_iter = 1;
+  bool use_call = false;
+};
+Benchmark make_branchy_int(const std::string& name, const BranchyIntParams& p,
+                           IlpClass expected = IlpClass::kMid);
+
+}  // namespace tlrob

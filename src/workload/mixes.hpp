@@ -1,0 +1,27 @@
+// The 11 four-thread workload mixes of the paper's Table 2.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "workload/thread_context.hpp"
+
+namespace tlrob {
+
+struct Mix {
+  std::string name;                          // "Mix 1" .. "Mix 11"
+  std::array<std::string, 4> benchmarks;     // SPEC profile names
+  std::string classification;                // Table 2 left column
+};
+
+/// All 11 mixes in paper order.
+const std::vector<Mix>& table2_mixes();
+
+/// Lookup by 1-based index (1..11). Throws std::out_of_range otherwise.
+const Mix& table2_mix(u32 index);
+
+/// Resolves a mix to its four Benchmark definitions.
+std::vector<Benchmark> mix_benchmarks(const Mix& mix);
+
+}  // namespace tlrob

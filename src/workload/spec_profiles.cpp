@@ -1,0 +1,229 @@
+#include "workload/spec_profiles.hpp"
+
+#include <stdexcept>
+
+#include "workload/kernels.hpp"
+
+namespace tlrob {
+namespace {
+
+std::vector<Benchmark> build_all() {
+  std::vector<Benchmark> v;
+
+  // --- Memory-bound (low ILP) -------------------------------------------
+  {
+    PointerChaseParams p;  // molecular dynamics, neighbour-list chasing
+    p.working_set_bytes = 6 << 20;
+    p.chains = 2;
+    p.loads_per_chain_iter = 2;
+    p.node_fields = 4;
+    p.dep_ops_per_load = 4;
+    p.hot_loads_per_iter = 4;
+    p.fp = true;
+    v.push_back(make_pointer_chase("ammp", p, IlpClass::kLow));
+  }
+  {
+    RandomGatherParams p;  // neural-net weights, scattered reads
+    p.working_set_bytes = 8 << 20;
+    p.reuse_fraction = 0.75;
+    p.reuse_bytes = 1280 << 10;
+    p.loads_per_iter = 1;
+    p.hot_loads_per_iter = 6;
+    p.dep_ops_per_load = 6;
+    p.indep_ops_per_iter = 12;
+    p.fp = true;
+    v.push_back(make_random_gather("art", p, IlpClass::kLow));
+  }
+  {
+    StreamParams p;  // multigrid stencil sweeps
+    p.working_set_bytes = 6 << 20;
+    p.reuse_bytes = 1 << 20;
+    p.streams = 3;
+    p.fp_ops_per_elem = 4;
+    v.push_back(make_stream("mgrid", p, IlpClass::kLow));
+  }
+  {
+    StreamParams p;  // meso-scale atmospheric model
+    p.working_set_bytes = 4 << 20;
+    p.reuse_bytes = 896 << 10;
+    p.streams = 2;
+    p.fp_ops_per_elem = 5;
+    v.push_back(make_stream("apsi", p, IlpClass::kLow));
+  }
+  {
+    StreamParams p;  // shallow-water stencils
+    p.working_set_bytes = 8 << 20;
+    p.reuse_bytes = 1280 << 10;
+    p.streams = 4;
+    p.fp_ops_per_elem = 3;
+    v.push_back(make_stream("swim", p, IlpClass::kLow));
+  }
+  {
+    RandomGatherParams p;  // FFT-style scattered FP traffic
+    p.working_set_bytes = 6 << 20;
+    p.reuse_fraction = 0.7;
+    p.reuse_bytes = 1 << 20;
+    p.loads_per_iter = 1;
+    p.hot_loads_per_iter = 6;
+    p.dep_ops_per_load = 7;
+    p.indep_ops_per_iter = 14;
+    p.fp = true;
+    v.push_back(make_random_gather("lucas", p, IlpClass::kLow));
+  }
+  {
+    RandomGatherParams p;  // sparse-matrix earthquake simulation
+    p.working_set_bytes = 6 << 20;
+    p.reuse_fraction = 0.78;
+    p.reuse_bytes = 1 << 20;
+    p.loads_per_iter = 1;
+    p.hot_loads_per_iter = 6;
+    p.dep_ops_per_load = 5;
+    p.indep_ops_per_iter = 12;
+    p.fp = true;
+    v.push_back(make_random_gather("equake", p, IlpClass::kLow));
+  }
+  {
+    PointerChaseParams p;  // network-simplex arc traversal
+    p.working_set_bytes = 12 << 20;
+    p.chains = 2;
+    p.loads_per_chain_iter = 1;
+    p.node_fields = 2;
+    p.dep_ops_per_load = 4;
+    p.hot_loads_per_iter = 4;
+    v.push_back(make_pointer_chase("mcf", p, IlpClass::kLow));
+  }
+  {
+    PointerChaseParams p;  // place-and-route net lists
+    p.working_set_bytes = 3 << 20;
+    p.chains = 2;
+    p.loads_per_chain_iter = 1;
+    p.node_fields = 3;
+    p.dep_ops_per_load = 4;
+    p.hot_loads_per_iter = 3;
+    v.push_back(make_pointer_chase("twolf", p, IlpClass::kLow));
+  }
+  {
+    BranchyIntParams p;  // routing over a medium graph
+    p.working_set_bytes = 6 << 20;
+    p.cold_fraction = 0.18;
+    p.loads_per_iter = 3;
+    p.branches_per_iter = 2;
+    p.branch_bias = 0.8;
+    v.push_back(make_branchy_int("vpr", p, IlpClass::kLow));
+  }
+
+  // --- Medium ILP ---------------------------------------------------------
+  {
+    BranchyIntParams p;  // dictionary parsing, branchy with L2-resident data
+    p.working_set_bytes = 2 << 20;
+    p.cold_fraction = 0.03;
+    p.loads_per_iter = 3;
+    p.branches_per_iter = 3;
+    p.branch_bias = 0.85;
+    v.push_back(make_branchy_int("parser", p, IlpClass::kMid));
+  }
+  {
+    BranchyIntParams p;  // OO database, call heavy
+    p.working_set_bytes = 1 << 20;
+    p.cold_fraction = 0.02;
+    p.loads_per_iter = 3;
+    p.branches_per_iter = 2;
+    p.branch_bias = 0.9;
+    p.use_call = true;
+    v.push_back(make_branchy_int("vortex", p, IlpClass::kMid));
+  }
+  {
+    BranchyIntParams p;  // group-theory interpreter
+    p.working_set_bytes = 2 << 20;
+    p.cold_fraction = 0.04;
+    p.loads_per_iter = 3;
+    p.branches_per_iter = 2;
+    p.branch_bias = 0.88;
+    v.push_back(make_branchy_int("gap", p, IlpClass::kMid));
+  }
+  {
+    BranchyIntParams p;  // perl interpreter dispatch
+    p.working_set_bytes = 1 << 20;
+    p.cold_fraction = 0.03;
+    p.loads_per_iter = 2;
+    p.branches_per_iter = 3;
+    p.branch_bias = 0.82;
+    p.use_call = true;
+    v.push_back(make_branchy_int("perlbmk", p, IlpClass::kMid));
+  }
+  {
+    BranchyIntParams p;  // block-sorting compression
+    p.working_set_bytes = 3 << 20;
+    p.cold_fraction = 0.06;
+    p.loads_per_iter = 3;
+    p.branches_per_iter = 1;
+    p.branch_bias = 0.75;
+    v.push_back(make_branchy_int("bzip2", p, IlpClass::kMid));
+  }
+  {
+    ComputeParams p;  // 3D graphics pipeline, FP heavy but cache resident
+    p.chains = 5;
+    p.chain_len = 4;
+    p.fp_fraction = 0.7;
+    p.hot_set_bytes = 64 << 10;
+    v.push_back(make_compute("mesa", p, IlpClass::kMid));
+  }
+  {
+    StreamParams p;  // QCD kernels over an L2-resident lattice
+    p.working_set_bytes = 64 << 10;
+    p.reuse_bytes = 192 << 10;
+    p.streams = 3;
+    p.fp_ops_per_elem = 4;
+    v.push_back(make_stream("wupwise", p, IlpClass::kMid));
+  }
+
+  // --- Execution-bound (high ILP) ----------------------------------------
+  {
+    ComputeParams p;  // chess search: integer, cache resident
+    p.chains = 6;
+    p.chain_len = 4;
+    p.fp_fraction = 0.0;
+    p.hot_set_bytes = 16 << 10;
+    v.push_back(make_compute("crafty", p, IlpClass::kHigh));
+  }
+  {
+    ComputeParams p;  // probabilistic ray tracing
+    p.chains = 6;
+    p.chain_len = 4;
+    p.fp_fraction = 0.5;
+    p.hot_set_bytes = 32 << 10;
+    v.push_back(make_compute("eon", p, IlpClass::kHigh));
+  }
+  {
+    ComputeParams p;  // LZ77 compression over a small window
+    p.chains = 5;
+    p.chain_len = 3;
+    p.fp_fraction = 0.0;
+    p.hot_set_bytes = 24 << 10;
+    p.loads_per_iter = 3;
+    v.push_back(make_compute("gzip", p, IlpClass::kHigh));
+  }
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& spec_benchmarks() {
+  static const std::vector<Benchmark> all = build_all();
+  return all;
+}
+
+const Benchmark& spec_benchmark(const std::string& name) {
+  for (const auto& b : spec_benchmarks())
+    if (b.name == name) return b;
+  throw std::out_of_range("unknown SPEC profile: " + name);
+}
+
+bool is_spec_benchmark(const std::string& name) {
+  for (const auto& b : spec_benchmarks())
+    if (b.name == name) return true;
+  return false;
+}
+
+}  // namespace tlrob

@@ -1,0 +1,30 @@
+// The 20 SPEC CPU2000-named synthetic benchmarks used by the paper's mixes
+// (Table 2). Each is an instantiation of a kernel archetype (kernels.hpp)
+// with parameters chosen to reproduce the benchmark's timing-relevant
+// character: memory-bound vs execution-bound, dependence shape, FP/int mix.
+//
+// These are *synthetic stand-ins*, not the SPEC programs: we have neither the
+// SPEC sources/binaries nor an Alpha front end. What the paper's evaluation
+// actually consumes from SPEC is (a) the single-thread ILP class of each
+// workload and (b) the DoD / miss-rate structure of its loads — both of which
+// these profiles reproduce by construction and which the test suite checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/thread_context.hpp"
+
+namespace tlrob {
+
+/// All 20 benchmarks, in a stable order. Built once, cached.
+const std::vector<Benchmark>& spec_benchmarks();
+
+/// Lookup by SPEC name ("art", "mcf", ...). Throws std::out_of_range if the
+/// name is unknown.
+const Benchmark& spec_benchmark(const std::string& name);
+
+/// True if `name` is one of the 20 profiles.
+bool is_spec_benchmark(const std::string& name);
+
+}  // namespace tlrob

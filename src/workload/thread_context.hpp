@@ -1,0 +1,80 @@
+// Architectural (functional) execution of a synthetic program.
+//
+// The ThreadContext walks the program's CFG along the *correct* path only,
+// producing one ArchOp per dynamic instruction: static-instruction identity,
+// PC, resolved memory address (loads/stores) and resolved branch outcome /
+// target. The timing simulator consumes this stream at fetch — the classic
+// functional-first, timing-directed organisation of SimpleScalar/M-Sim.
+//
+// Wrong-path instructions are synthesised by the fetch unit itself (see
+// pipeline/fetch-related code in sim/) and never touch the ThreadContext, so
+// mispredicted-branch recovery requires no architectural rollback.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "workload/addr_gen.hpp"
+#include "workload/branch_gen.hpp"
+
+namespace tlrob {
+
+/// Single-thread ILP class, as in the paper's Table 2 (low = memory-bound,
+/// high = execution-bound).
+enum class IlpClass : u8 { kLow, kMid, kHigh };
+
+/// A complete synthetic benchmark: the program plus the generator specs the
+/// per-thread context instantiates.
+struct Benchmark {
+  std::string name;
+  std::shared_ptr<const Program> program;
+  std::vector<AddrGenSpec> agens;
+  std::vector<BranchGenSpec> bgens;
+  IlpClass expected_class = IlpClass::kMid;
+};
+
+/// One dynamic correct-path instruction.
+struct ArchOp {
+  const StaticInst* si = nullptr;
+  Addr pc = 0;
+  u32 block = 0;       // basic block containing the instruction
+  Addr mem_addr = 0;   // loads/stores
+  bool taken = false;  // control ops: actual direction (unconditional => true)
+  Addr target_pc = 0;  // control ops: actual next PC
+};
+
+class ThreadContext {
+ public:
+  /// `addr_space_base` separates coexisting threads' code/data; `salt`
+  /// decorrelates generator streams between thread instances.
+  ThreadContext(const Benchmark& bench, Addr addr_space_base, u64 salt);
+
+  /// Produces the next correct-path instruction and advances.
+  ArchOp next();
+
+  const Program& program() const { return *bench_->program; }
+  const Benchmark& benchmark() const { return *bench_; }
+  Addr addr_space_base() const { return addr_base_; }
+  u64 generated() const { return generated_; }
+
+  /// PC of the first instruction of `block` (used by fetch for targets).
+  Addr block_pc(u32 block) const { return program().block(block).insts.front().pc; }
+
+ private:
+  struct ReturnPoint {
+    u32 block;
+  };
+
+  const Benchmark* bench_;
+  Addr addr_base_;
+  std::vector<AddrGen> agens_;
+  std::vector<BranchGen> bgens_;
+  u32 block_ = 0;
+  u32 index_ = 0;
+  std::vector<ReturnPoint> ret_stack_;
+  u64 generated_ = 0;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,157 @@
+// Unit tests for the common utilities: RNG, stats, histogram, options.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/config.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace tlrob {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+  EXPECT_EQ(r.below(0), 0u);
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng r(3);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = r.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, GeometricMeanAndCap) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const u64 v = r.geometric(0.25, 100);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / 5000.0, 4.0, 0.4);
+  EXPECT_EQ(r.geometric(1.0, 10), 1u);
+  EXPECT_EQ(r.geometric(0.0, 10), 10u);
+}
+
+TEST(Stats, CounterBasics) {
+  StatGroup g;
+  g.counter("a").inc();
+  g.counter("a").inc(4);
+  EXPECT_EQ(g.counter_value("a"), 5u);
+  EXPECT_EQ(g.counter_value("missing"), 0u);
+  EXPECT_TRUE(g.has_counter("a"));
+  EXPECT_FALSE(g.has_counter("missing"));
+}
+
+TEST(Stats, AverageBasics) {
+  StatGroup g;
+  g.average("x").sample(1.0);
+  g.average("x").sample(3.0);
+  EXPECT_DOUBLE_EQ(g.average("x").mean(), 2.0);
+  EXPECT_EQ(g.average("x").count(), 2u);
+  EXPECT_DOUBLE_EQ(g.average("never").mean(), 0.0);
+}
+
+TEST(Stats, ResetClearsEverything) {
+  StatGroup g;
+  g.counter("a").inc(3);
+  g.average("b").sample(9);
+  g.reset();
+  EXPECT_EQ(g.counter_value("a"), 0u);
+  EXPECT_EQ(g.average("b").count(), 0u);
+}
+
+TEST(Histogram, RecordAndClamp) {
+  Histogram h(31);
+  h.record(0);
+  h.record(5);
+  h.record(31);
+  h.record(100);  // clamps into the 31+ bucket
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(31), 2u);
+  EXPECT_EQ(h.total_samples(), 4u);
+  // Mean uses true values, not the clamped ones.
+  EXPECT_DOUBLE_EQ(h.mean(), (0 + 5 + 31 + 100) / 4.0);
+}
+
+TEST(Histogram, MergeAddsBuckets) {
+  Histogram a(15), b(15);
+  a.record(3);
+  b.record(3);
+  b.record(7);
+  a.merge(b);
+  EXPECT_EQ(a.bucket(3), 2u);
+  EXPECT_EQ(a.bucket(7), 1u);
+  EXPECT_EQ(a.total_samples(), 3u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedWidth) {
+  Histogram a(15), b(31);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "insts=5000", "--scheme=rrob", "--verbose", "mix3"};
+  const Options o = Options::from_args(5, argv);
+  EXPECT_EQ(o.get_u64("insts", 0), 5000u);
+  EXPECT_EQ(o.get("scheme"), "rrob");
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "mix3");
+}
+
+TEST(Options, FallbacksAndBoolSpellings) {
+  const Options o = Options::from_tokens({"flag=off", "n=0x10"});
+  EXPECT_FALSE(o.get_bool("flag", true));
+  EXPECT_EQ(o.get_u64("n", 0), 16u);
+  EXPECT_EQ(o.get_u64("absent", 7), 7u);
+  EXPECT_DOUBLE_EQ(o.get_double("absent", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace tlrob

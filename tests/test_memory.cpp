@@ -1,0 +1,198 @@
+// Unit tests for the memory hierarchy: set-associative cache with the
+// latency-chain (ready-at) model, the memory channel, and the full system.
+#include <gtest/gtest.h>
+
+#include "memory/cache.hpp"
+#include "memory/memory_channel.hpp"
+#include "memory/memory_system.hpp"
+
+namespace tlrob {
+namespace {
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache("bad", CacheGeometry{1024, 3, 32, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache("bad", CacheGeometry{1024, 4, 48, 1}), std::invalid_argument);
+  Cache ok("ok", CacheGeometry{32 << 10, 4, 32, 1});
+  EXPECT_EQ(ok.sets(), 256u);
+}
+
+TEST(Cache, MissThenResidentHit) {
+  Cache c("c", CacheGeometry{1 << 10, 2, 32, 1});
+  EXPECT_FALSE(c.probe(0x100, 0).present);
+  c.fill(0x100, 0, /*ready_at=*/10, true, nullptr);
+  const auto p = c.probe(0x100, 20);
+  EXPECT_TRUE(p.present);
+  EXPECT_EQ(p.ready_at, 10u);
+  EXPECT_EQ(c.stats().counter_value("misses"), 1u);
+}
+
+TEST(Cache, PendingLineMergesAndReportsOrigin) {
+  Cache c("c", CacheGeometry{1 << 10, 2, 32, 1});
+  c.fill(0x100, 0, /*ready_at=*/500, /*from_memory=*/true, nullptr);
+  const auto p = c.probe(0x100, 50);  // fill still in flight
+  EXPECT_TRUE(p.present);
+  EXPECT_TRUE(p.fill_from_memory);
+  EXPECT_EQ(p.ready_at, 500u);
+  EXPECT_EQ(c.stats().counter_value("mshr_merges"), 1u);
+}
+
+TEST(Cache, LruVictimSelection) {
+  // 2-way, line 32B, 2 sets. Addresses in set 0: multiples of 64.
+  Cache c("c", CacheGeometry{128, 2, 32, 1});
+  c.fill(0, 0, 0, false, nullptr);
+  c.fill(64, 0, 0, false, nullptr);
+  c.probe(0, 1);  // touch 0 -> 64 becomes LRU
+  c.fill(128, 2, 2, false, nullptr);
+  EXPECT_TRUE(c.probe(0, 3).present);
+  EXPECT_FALSE(c.probe(64, 3).present);
+  EXPECT_TRUE(c.probe(128, 3).present);
+}
+
+TEST(Cache, InFlightLinesAreNotVictimised) {
+  Cache c("c", CacheGeometry{128, 2, 32, 1});
+  c.fill(0, 0, /*ready_at=*/1000, true, nullptr);   // pending
+  c.fill(64, 0, /*ready_at=*/1000, true, nullptr);  // pending
+  // Both ways of set 0 are in flight: a third fill must bypass.
+  EXPECT_FALSE(c.fill(128, 1, 1, false, nullptr));
+  EXPECT_EQ(c.stats().counter_value("fill_bypass"), 1u);
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  Cache c("c", CacheGeometry{128, 2, 32, 1});
+  c.fill(0, 0, 0, false, nullptr);
+  c.mark_dirty(0);
+  c.fill(64, 0, 0, false, nullptr);
+  bool dirty = false;
+  c.fill(128, 1, 1, false, &dirty);  // evicts LRU = line 0 (dirty)
+  EXPECT_TRUE(dirty);
+}
+
+TEST(Channel, FirstChunkPlusTransfer) {
+  MemoryChannelConfig cfg;
+  cfg.first_chunk = 500;
+  cfg.interchunk = 2;
+  cfg.bus_bytes = 8;
+  cfg.line_bytes = 128;
+  cfg.critical_bytes = 32;  // 4 chunks * 2 cycles
+  MemoryChannel ch(cfg);
+  EXPECT_EQ(ch.transfer_cycles(), 8u);
+  EXPECT_EQ(ch.request_fill(0), 508u);
+}
+
+TEST(Channel, FullLineTransferWhenCriticalDisabled) {
+  MemoryChannelConfig cfg;
+  cfg.critical_bytes = 0;  // pessimistic: whole 128B line occupies the bus
+  MemoryChannel ch(cfg);
+  EXPECT_EQ(ch.transfer_cycles(), 32u);
+  EXPECT_EQ(ch.request_fill(0), 532u);
+}
+
+TEST(Channel, BusSerialisesOverlappingFills) {
+  MemoryChannelConfig cfg;
+  MemoryChannel ch(cfg);
+  const Cycle t = cfg.first_chunk;
+  const Cycle f1 = ch.request_fill(0);
+  const Cycle f2 = ch.request_fill(0);
+  const Cycle f3 = ch.request_fill(0);
+  EXPECT_EQ(f1, t + ch.transfer_cycles());
+  EXPECT_EQ(f2, f1 + ch.transfer_cycles());  // access overlapped, bus serial
+  EXPECT_EQ(f3, f2 + ch.transfer_cycles());
+}
+
+TEST(Channel, MshrLimitDelaysAdmission) {
+  MemoryChannelConfig cfg;
+  cfg.mshr_entries = 2;
+  MemoryChannel ch(cfg);
+  const Cycle f1 = ch.request_fill(0);
+  ch.request_fill(0);
+  // Third request at time 0 cannot be admitted before the first completes.
+  const Cycle f3 = ch.request_fill(0);
+  EXPECT_GE(f3, f1 + cfg.first_chunk);
+  EXPECT_EQ(ch.stats().counter_value("mshr_full_stalls"), 1u);
+}
+
+TEST(Channel, WritebackConsumesBandwidthOnly) {
+  MemoryChannelConfig cfg;
+  MemoryChannel ch(cfg);
+  // A writeback finishing just as the fill's DRAM access completes delays
+  // the fill's bus transfer by its own occupancy.
+  ch.request_writeback(cfg.first_chunk);
+  const Cycle f = ch.request_fill(0);
+  EXPECT_EQ(f, cfg.first_chunk + 2 * ch.transfer_cycles());
+}
+
+TEST(MemorySystem, L1HitTiming) {
+  MemorySystem ms((MemoryConfig()));
+  ms.access_data(0x1000, false, 0);          // cold; installs the line
+  const Cycle ready = ms.access_data(0x1000, false, 10000).data_ready;
+  EXPECT_EQ(ready, 10000u + 1u);  // L1 hit latency
+}
+
+TEST(MemorySystem, L2MissGoesToMemoryAndReportsDetectTime) {
+  MemoryConfig cfg;
+  MemorySystem ms(cfg);
+  const DataAccess a = ms.access_data(0x100000, false, 0);
+  EXPECT_FALSE(a.l1_hit);
+  EXPECT_TRUE(a.l2_miss);
+  EXPECT_EQ(a.l2_miss_detect, 0u + cfg.l1d.hit_latency + cfg.l2.hit_latency);
+  EXPECT_GT(a.data_ready, cfg.channel.first_chunk);
+}
+
+TEST(MemorySystem, L2HitAfterL1Eviction) {
+  MemoryConfig cfg;
+  MemorySystem ms(cfg);
+  ms.access_data(0x100000, false, 0);
+  // Evict from L1 (4-way, 32B lines, 256 sets => same set every 8KB).
+  for (int w = 1; w <= 4; ++w)
+    ms.access_data(0x100000 + w * 8192, false, 2000 + w);
+  const DataAccess a = ms.access_data(0x100000, false, 10000);
+  EXPECT_FALSE(a.l1_hit);
+  EXPECT_FALSE(a.l2_miss);  // still resident in L2
+  EXPECT_EQ(a.data_ready, 10000u + cfg.l1d.hit_latency + cfg.l2.hit_latency);
+}
+
+TEST(MemorySystem, SecondaryMissMergesIntoPendingFill) {
+  MemorySystem ms((MemoryConfig()));
+  const DataAccess first = ms.access_data(0x200000, false, 0);
+  const DataAccess second = ms.access_data(0x200000, false, 5);
+  EXPECT_TRUE(second.l2_miss);  // merged into a memory-bound fill
+  EXPECT_EQ(second.data_ready, first.data_ready);
+}
+
+TEST(MemorySystem, InstSideHitAndMiss) {
+  MemoryConfig cfg;
+  MemorySystem ms(cfg);
+  const Cycle miss = ms.access_inst(0x400000, 0);
+  EXPECT_GT(miss, cfg.channel.first_chunk);
+  EXPECT_EQ(ms.access_inst(0x400000, miss + 1), miss + 1);  // now resident
+}
+
+TEST(MemorySystem, PrewarmMakesRegionResident) {
+  MemorySystem ms((MemoryConfig()));
+  ms.prewarm_region(0x100000, 64 << 10);
+  const DataAccess a = ms.access_data(0x100000 + 4096, false, 0);
+  EXPECT_FALSE(a.l2_miss);
+}
+
+TEST(MemorySystem, PrewarmHotPrefixSurvivesColdBody) {
+  MemoryConfig cfg;
+  MemorySystem ms(cfg);
+  // Region far larger than the L2, with a 256KB reused prefix.
+  ms.prewarm_region(0x1000000, 8 << 20, 256 << 10);
+  const DataAccess hot = ms.access_data(0x1000000 + 1024, false, 0);
+  EXPECT_FALSE(hot.l2_miss) << "hot prefix must be resident after prewarm";
+}
+
+TEST(MemorySystem, StoresDirtyTheLine) {
+  MemoryConfig cfg;
+  MemorySystem ms(cfg);
+  ms.access_data(0x300000, true, 0);  // write-allocate + dirty
+  const u64 wb_before = ms.channel().stats().counter_value("writebacks");
+  // Evict the dirty L2 line: same L2 set every 2048*128 bytes, 8 ways.
+  for (int w = 1; w <= 8; ++w)
+    ms.access_data(0x300000 + static_cast<Addr>(w) * 2048 * 128, false, 1000 + w * 600);
+  EXPECT_GT(ms.channel().stats().counter_value("writebacks"), wb_before);
+}
+
+}  // namespace
+}  // namespace tlrob

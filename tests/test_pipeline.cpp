@@ -1,0 +1,324 @@
+// Unit tests for the pipeline components: rename/scoreboard, issue queue,
+// load/store queue, functional units, fetch policies and DCRA.
+#include <gtest/gtest.h>
+
+#include "pipeline/dcra.hpp"
+#include "pipeline/dyn_inst.hpp"
+#include "pipeline/fetch_policy.hpp"
+#include "pipeline/func_units.hpp"
+#include "pipeline/issue_queue.hpp"
+#include "pipeline/lsq.hpp"
+#include "pipeline/rename.hpp"
+
+namespace tlrob {
+namespace {
+
+StaticInst alu(ArchReg d, ArchReg a = kNoReg, ArchReg b = kNoReg) {
+  StaticInst si;
+  si.op = OpClass::kIntAlu;
+  si.dest = d;
+  si.src[0] = a;
+  si.src[1] = b;
+  return si;
+}
+
+DynInst dyn(const StaticInst* si, ThreadId tid, u64 tseq) {
+  DynInst di;
+  di.si = si;
+  di.op = si != nullptr ? si->op : OpClass::kNop;
+  di.tid = tid;
+  di.tseq = tseq;
+  di.seq = tseq;
+  return di;
+}
+
+TEST(Rename, RawDependenceThroughRat) {
+  RenameUnit ru(RenameConfig{224, 224, 1, false});
+  static const StaticInst producer = alu(ireg(1));
+  static const StaticInst consumer = alu(ireg(2), ireg(1));
+  DynInst p = dyn(&producer, 0, 1);
+  DynInst c = dyn(&consumer, 0, 2);
+  ru.rename(p);
+  ru.rename(c);
+  EXPECT_EQ(c.src_phys[0], p.dest_phys);
+  EXPECT_FALSE(ru.is_ready(c.src_phys[0], 100));
+  ru.set_ready(p.dest_phys);
+  EXPECT_TRUE(ru.is_ready(c.src_phys[0], 100));
+}
+
+TEST(Rename, CommitFreesPreviousMapping) {
+  RenameUnit ru(RenameConfig{224, 224, 1, false});
+  static const StaticInst w1 = alu(ireg(1));
+  static const StaticInst w2 = alu(ireg(1));
+  DynInst a = dyn(&w1, 0, 1), b = dyn(&w2, 0, 2);
+  ru.rename(a);
+  const u32 free_after_a = ru.free_int(0);
+  ru.rename(b);
+  EXPECT_EQ(b.prev_dest_phys, a.dest_phys);
+  ru.commit_free(b);  // releases a's register
+  EXPECT_EQ(ru.free_int(0), free_after_a);
+}
+
+TEST(Rename, SquashUndoRestoresRatAndFreesReg) {
+  RenameUnit ru(RenameConfig{224, 224, 1, false});
+  static const StaticInst w1 = alu(ireg(1));
+  static const StaticInst w2 = alu(ireg(1));
+  DynInst a = dyn(&w1, 0, 1), b = dyn(&w2, 0, 2);
+  ru.rename(a);
+  const PhysReg a_phys = a.dest_phys;
+  ru.rename(b);
+  ru.squash_undo(b);
+  EXPECT_EQ(ru.rat_entry(0, ireg(1)), a_phys);
+  static const StaticInst r = alu(ireg(5), ireg(1));
+  DynInst c = dyn(&r, 0, 3);
+  ru.rename(c);
+  EXPECT_EQ(c.src_phys[0], a_phys);
+}
+
+TEST(Rename, PerThreadFilesAreIndependent) {
+  RenameUnit ru(RenameConfig{224, 224, 2, false});
+  static const StaticInst w = alu(ireg(1));
+  // Exhaust thread 0's int free list; thread 1 must be unaffected.
+  const u32 pool = ru.int_rename_pool();
+  for (u64 i = 0; i < pool; ++i) {
+    DynInst d = dyn(&w, 0, i + 1);
+    ASSERT_TRUE(ru.can_rename(0, w));
+    ru.rename(d);
+  }
+  EXPECT_FALSE(ru.can_rename(0, w));
+  EXPECT_TRUE(ru.can_rename(1, w));
+  EXPECT_EQ(ru.int_in_use(0), pool);
+}
+
+TEST(Rename, SharedPoolIsContended) {
+  RenameUnit ru(RenameConfig{224, 224, 4, true});
+  EXPECT_EQ(ru.int_rename_pool(), 224u - 4 * kNumIntArchRegs);
+  static const StaticInst w = alu(ireg(1));
+  for (u64 i = 0; i < ru.int_rename_pool(); ++i) {
+    DynInst d = dyn(&w, static_cast<ThreadId>(i % 4), i + 1);
+    ASSERT_TRUE(ru.can_rename(d.tid, w));
+    ru.rename(d);
+  }
+  // Pool exhausted for every thread.
+  for (ThreadId t = 0; t < 4; ++t) EXPECT_FALSE(ru.can_rename(t, w));
+}
+
+TEST(Rename, SharedPoolRejectsTooSmallFiles) {
+  EXPECT_THROW(RenameUnit(RenameConfig{128, 224, 4, true}), std::invalid_argument);
+}
+
+TEST(Rename, SpecReadyLifecycle) {
+  RenameUnit ru(RenameConfig{224, 224, 1, false});
+  static const StaticInst w = alu(ireg(1));
+  DynInst d = dyn(&w, 0, 1);
+  ru.rename(d);
+  ru.set_spec_ready(d.dest_phys, 10);
+  EXPECT_FALSE(ru.is_ready(d.dest_phys, 9));
+  EXPECT_TRUE(ru.is_ready(d.dest_phys, 10));
+  EXPECT_TRUE(ru.is_spec(d.dest_phys));
+  ru.clear_spec(d.dest_phys);
+  EXPECT_FALSE(ru.is_ready(d.dest_phys, 100));
+  ru.set_ready(d.dest_phys);
+  EXPECT_TRUE(ru.is_ready(d.dest_phys, 0));
+  EXPECT_FALSE(ru.is_spec(d.dest_phys));
+}
+
+TEST(IssueQueue, InsertRemoveAccounting) {
+  IssueQueue iq(4, 2);
+  static const StaticInst w = alu(ireg(1));
+  DynInst a = dyn(&w, 0, 1), b = dyn(&w, 1, 2);
+  iq.insert(&a);
+  iq.insert(&b);
+  EXPECT_EQ(iq.occupancy(), 2u);
+  EXPECT_EQ(iq.occupancy(0), 1u);
+  EXPECT_EQ(iq.occupancy(1), 1u);
+  iq.remove(&a);
+  EXPECT_FALSE(a.in_iq);
+  EXPECT_EQ(iq.occupancy(0), 0u);
+  iq.remove(&a);  // idempotent
+  EXPECT_EQ(iq.occupancy(), 1u);
+}
+
+TEST(IssueQueue, ThrowsWhenFull) {
+  IssueQueue iq(2, 1);
+  static const StaticInst w = alu(ireg(1));
+  DynInst a = dyn(&w, 0, 1), b = dyn(&w, 0, 2), c = dyn(&w, 0, 3);
+  iq.insert(&a);
+  iq.insert(&b);
+  EXPECT_FALSE(iq.has_free());
+  EXPECT_THROW(iq.insert(&c), std::logic_error);
+}
+
+TEST(IssueQueue, CollectFilters) {
+  IssueQueue iq(8, 1);
+  static const StaticInst w = alu(ireg(1));
+  DynInst a = dyn(&w, 0, 1), b = dyn(&w, 0, 2);
+  b.issued = true;
+  iq.insert(&a);
+  iq.insert(&b);
+  const auto unissued = iq.collect([](DynInst& d) { return !d.issued; });
+  ASSERT_EQ(unissued.size(), 1u);
+  EXPECT_EQ(unissued[0], &a);
+}
+
+StaticInst mem_op(OpClass op) {
+  StaticInst si;
+  si.op = op;
+  si.agen_id = 0;
+  if (op == OpClass::kLoad) si.dest = ireg(1);
+  return si;
+}
+
+TEST(Lsq, ConservativeLoadOrdering) {
+  LoadStoreQueue lsq(8);
+  static const StaticInst st = mem_op(OpClass::kStore);
+  static const StaticInst ld = mem_op(OpClass::kLoad);
+  DynInst s = dyn(&st, 0, 1);
+  DynInst l = dyn(&ld, 0, 2);
+  s.mem_addr = 0x100;
+  l.mem_addr = 0x200;
+  lsq.push(&s);
+  lsq.push(&l);
+  EXPECT_FALSE(lsq.older_stores_resolved(l));
+  s.addr_resolved = true;
+  EXPECT_TRUE(lsq.older_stores_resolved(l));
+}
+
+TEST(Lsq, ForwardsFromYoungestOlderOverlappingStore) {
+  LoadStoreQueue lsq(8);
+  static const StaticInst st = mem_op(OpClass::kStore);
+  static const StaticInst ld = mem_op(OpClass::kLoad);
+  DynInst s1 = dyn(&st, 0, 1), s2 = dyn(&st, 0, 2), l = dyn(&ld, 0, 3);
+  s1.mem_addr = s2.mem_addr = l.mem_addr = 0x100;
+  s1.addr_resolved = s2.addr_resolved = true;
+  lsq.push(&s1);
+  lsq.push(&s2);
+  lsq.push(&l);
+  EXPECT_EQ(lsq.forwarding_store(l), &s2);
+  s2.mem_addr = 0x900;  // no longer overlaps
+  EXPECT_EQ(lsq.forwarding_store(l), &s1);
+  s1.mem_addr = 0x500;
+  EXPECT_EQ(lsq.forwarding_store(l), nullptr);
+}
+
+TEST(Lsq, SquashRemovesSuffixOnly) {
+  LoadStoreQueue lsq(8);
+  static const StaticInst st = mem_op(OpClass::kStore);
+  DynInst a = dyn(&st, 0, 1), b = dyn(&st, 0, 5), c = dyn(&st, 0, 9);
+  lsq.push(&a);
+  lsq.push(&b);
+  lsq.push(&c);
+  lsq.squash_after(5);
+  EXPECT_EQ(lsq.occupancy(), 2u);
+  EXPECT_FALSE(c.lsq_allocated);
+  EXPECT_TRUE(b.lsq_allocated);
+}
+
+TEST(Lsq, PopEnforcesOrder) {
+  LoadStoreQueue lsq(4);
+  static const StaticInst st = mem_op(OpClass::kStore);
+  DynInst a = dyn(&st, 0, 1), b = dyn(&st, 0, 2);
+  lsq.push(&a);
+  lsq.push(&b);
+  EXPECT_THROW(lsq.pop(&b), std::logic_error);
+  lsq.pop(&a);
+  lsq.pop(&b);
+  EXPECT_EQ(lsq.occupancy(), 0u);
+}
+
+TEST(FuncUnits, Table1Latencies) {
+  FuncUnitPool fu;
+  EXPECT_EQ(fu.timing(OpClass::kIntAlu).latency, 1u);
+  EXPECT_EQ(fu.timing(OpClass::kIntMult).latency, 3u);
+  EXPECT_EQ(fu.timing(OpClass::kIntDiv).latency, 20u);
+  EXPECT_EQ(fu.timing(OpClass::kIntDiv).interval, 19u);
+  EXPECT_EQ(fu.timing(OpClass::kFpAdd).latency, 2u);
+  EXPECT_EQ(fu.timing(OpClass::kFpMult).latency, 4u);
+  EXPECT_EQ(fu.timing(OpClass::kFpDiv).latency, 12u);
+  EXPECT_EQ(fu.timing(OpClass::kFpSqrt).latency, 24u);
+  EXPECT_EQ(fu.group_size(OpClass::kIntAlu), 8u);
+  EXPECT_EQ(fu.group_size(OpClass::kLoad), 4u);
+  EXPECT_EQ(fu.group_size(OpClass::kFpMult), 4u);
+}
+
+TEST(FuncUnits, UnpipelinedDivBlocksItsUnit) {
+  FuncUnitPool fu;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fu.can_issue(OpClass::kIntDiv, 0));
+    fu.issue(OpClass::kIntDiv, 0);
+  }
+  EXPECT_FALSE(fu.can_issue(OpClass::kIntDiv, 0));
+  EXPECT_FALSE(fu.can_issue(OpClass::kIntMult, 5));  // same units
+  EXPECT_TRUE(fu.can_issue(OpClass::kIntDiv, 19));
+}
+
+TEST(FuncUnits, PipelinedUnitsFreeNextCycle) {
+  FuncUnitPool fu;
+  for (int i = 0; i < 8; ++i) fu.issue(OpClass::kIntAlu, 0);
+  EXPECT_FALSE(fu.can_issue(OpClass::kIntAlu, 0));
+  EXPECT_TRUE(fu.can_issue(OpClass::kIntAlu, 1));
+}
+
+TEST(FetchPolicy, IcountPrefersLeastLoaded) {
+  auto p = FetchPolicy::create(FetchPolicyKind::kIcount, nullptr);
+  std::vector<ThreadFetchView> v(3);
+  v[0].frontend_count = 10;
+  v[1].frontend_count = 2;
+  v[2].iq_count = 5;
+  const auto order = p->order(v, 0);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(FetchPolicy, StallGatesOnOutstandingL2) {
+  auto p = FetchPolicy::create(FetchPolicyKind::kStall, nullptr);
+  std::vector<ThreadFetchView> v(2);
+  v[0].outstanding_l2 = 1;
+  EXPECT_FALSE(p->may_fetch(0, v));
+  EXPECT_TRUE(p->may_fetch(1, v));
+  EXPECT_FALSE(p->flush_on_l2_miss());
+}
+
+TEST(FetchPolicy, FlushRequestsSquash) {
+  auto p = FetchPolicy::create(FetchPolicyKind::kFlush, nullptr);
+  EXPECT_TRUE(p->flush_on_l2_miss());
+  EXPECT_EQ(p->kind(), FetchPolicyKind::kFlush);
+}
+
+TEST(FetchPolicy, RoundRobinRotates) {
+  auto p = FetchPolicy::create(FetchPolicyKind::kRoundRobin, nullptr);
+  std::vector<ThreadFetchView> v(4);
+  EXPECT_EQ(p->order(v, 0)[0], 0u);
+  EXPECT_EQ(p->order(v, 1)[0], 1u);
+  EXPECT_EQ(p->order(v, 5)[0], 1u);
+}
+
+TEST(Dcra, ClassifiesByOutstandingL1) {
+  DcraController dcra(DcraConfig{}, 2);
+  std::vector<ThreadFetchView> v(2);
+  v[0].outstanding_l1 = 2;
+  dcra.classify(v);
+  EXPECT_TRUE(dcra.is_slow(0));
+  EXPECT_FALSE(dcra.is_slow(1));
+}
+
+TEST(Dcra, SlowThreadsGetLargerBaseShare) {
+  DcraController dcra(DcraConfig{}, 4);
+  std::vector<ThreadFetchView> v(4);
+  v[0].outstanding_l1 = 1;  // one slow, three fast
+  dcra.classify(v);
+  EXPECT_GT(dcra.base_share(0, 64), dcra.base_share(1, 64));
+}
+
+TEST(Dcra, FastThreadsAreNeverThrottled) {
+  DcraController dcra(DcraConfig{}, 4);
+  std::vector<ThreadFetchView> v(4);
+  v[0].outstanding_l1 = 1;
+  dcra.classify(v);
+  EXPECT_EQ(dcra.cap(1, 64), 64u);
+  EXPECT_EQ(dcra.cap(0, 64), 64u);  // slow: advisory estimate, not a hard cap
+}
+
+}  // namespace
+}  // namespace tlrob

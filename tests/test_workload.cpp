@@ -1,0 +1,220 @@
+// Unit tests for workload generators, thread contexts, SPEC profiles and
+// the Table 2 mixes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/addr_gen.hpp"
+#include "workload/branch_gen.hpp"
+#include "workload/kernels.hpp"
+#include "workload/mixes.hpp"
+#include "workload/spec_profiles.hpp"
+#include "workload/thread_context.hpp"
+
+namespace tlrob {
+namespace {
+
+AddrGenSpec spec(AddrPattern p, u64 region, i64 stride = 8) {
+  AddrGenSpec s;
+  s.pattern = p;
+  s.base = 0x1000;
+  s.region_bytes = region;
+  s.stride = stride;
+  return s;
+}
+
+TEST(AddrGen, StrideWrapsWithinRegion) {
+  AddrGen g(spec(AddrPattern::kStride, 256, 8), 0x100000, 1);
+  std::set<Addr> seen;
+  for (int i = 0; i < 64; ++i) {
+    const Addr a = g.next();
+    EXPECT_GE(a, 0x101000u);
+    EXPECT_LT(a, 0x101000u + 256u);
+    seen.insert(a);
+  }
+  EXPECT_EQ(seen.size(), 32u);  // 256 bytes / stride 8
+}
+
+TEST(AddrGen, StrideIsSequential) {
+  AddrGen g(spec(AddrPattern::kStride, 1 << 20, 8), 0, 1);
+  const Addr a0 = g.next();
+  EXPECT_EQ(g.next(), a0 + 8);
+  EXPECT_EQ(g.next(), a0 + 16);
+}
+
+TEST(AddrGen, RandomStaysInRegion) {
+  AddrGen g(spec(AddrPattern::kRandom, 1 << 16), 0x200000, 5);
+  for (int i = 0; i < 1000; ++i) {
+    const Addr a = g.next();
+    EXPECT_GE(a, 0x201000u);
+    EXPECT_LT(a, 0x201000u + (1u << 16));
+    EXPECT_EQ(a % 8, 0u);  // aligned to access size
+  }
+}
+
+TEST(AddrGen, PointerChaseVisitsEveryLineOncePerCycle) {
+  // 64 lines; the permutation walk must touch each line exactly once before
+  // repeating — that is what makes every access a fresh line (a miss) when
+  // the region exceeds the cache.
+  AddrGen g(spec(AddrPattern::kPointerChase, 64 * 64), 0, 9);
+  std::set<Addr> lines;
+  for (int i = 0; i < 64; ++i) lines.insert(g.next() / 64);
+  EXPECT_EQ(lines.size(), 64u);
+}
+
+TEST(AddrGen, StackCyclesOverSmallSet) {
+  AddrGen g(spec(AddrPattern::kStack, 64), 0, 2);
+  std::set<Addr> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(g.next());
+  EXPECT_EQ(seen.size(), 8u);  // 64 bytes / 8-byte slots
+}
+
+TEST(AddrGen, ThreadSaltDecorrelatesStreams) {
+  AddrGen a(spec(AddrPattern::kRandom, 1 << 20), 0, 1);
+  AddrGen b(spec(AddrPattern::kRandom, 1 << 20), 0, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(BranchGen, LoopPattern) {
+  BranchGenSpec s;
+  s.pattern = BranchPattern::kLoop;
+  s.trip = 4;
+  BranchGen g(s, 0);
+  // taken, taken, taken, not-taken, repeating
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_TRUE(g.next());
+    EXPECT_TRUE(g.next());
+    EXPECT_TRUE(g.next());
+    EXPECT_FALSE(g.next());
+  }
+}
+
+TEST(BranchGen, BiasedFrequency) {
+  BranchGenSpec s;
+  s.pattern = BranchPattern::kBiased;
+  s.p_taken = 0.8;
+  BranchGen g(s, 3);
+  int taken = 0;
+  for (int i = 0; i < 10000; ++i) taken += g.next();
+  EXPECT_NEAR(taken / 10000.0, 0.8, 0.02);
+}
+
+TEST(BranchGen, TripOneNeverTaken) {
+  BranchGenSpec s;
+  s.pattern = BranchPattern::kLoop;
+  s.trip = 1;
+  BranchGen g(s, 0);
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(g.next());
+}
+
+TEST(ThreadContext, WalksInfinitely) {
+  RandomGatherParams p;
+  p.working_set_bytes = 1 << 16;
+  const Benchmark b = make_random_gather("tiny", p);
+  ThreadContext ctx(b, 0x1000000, 1);
+  for (int i = 0; i < 5000; ++i) {
+    const ArchOp op = ctx.next();
+    ASSERT_NE(op.si, nullptr);
+  }
+  EXPECT_EQ(ctx.generated(), 5000u);
+}
+
+TEST(ThreadContext, LoadsCarryAddressesInThreadSpace) {
+  RandomGatherParams p;
+  p.working_set_bytes = 1 << 16;
+  const Benchmark b = make_random_gather("tiny", p);
+  ThreadContext ctx(b, 0x4000000, 1);
+  int loads = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const ArchOp op = ctx.next();
+    if (op.si->is_load()) {
+      ++loads;
+      EXPECT_GE(op.mem_addr, 0x4000000u);
+    }
+  }
+  EXPECT_GT(loads, 100);
+}
+
+TEST(ThreadContext, BranchTargetsAreBlockStarts) {
+  BranchyIntParams p;
+  const Benchmark b = make_branchy_int("br", p);
+  ThreadContext ctx(b, 0, 2);
+  for (int i = 0; i < 5000; ++i) {
+    const ArchOp op = ctx.next();
+    if (is_control(op.si->op)) {
+      bool found = false;
+      for (u32 blk = 0; blk < b.program->num_blocks(); ++blk)
+        if (b.program->block(blk).insts.front().pc == op.target_pc) found = true;
+      ASSERT_TRUE(found) << "control target must be a block entry";
+    }
+  }
+}
+
+TEST(ThreadContext, CallReturnResumesAtFallthrough) {
+  ComputeParams p;
+  p.use_call = true;
+  const Benchmark b = make_compute("callret", p);
+  ThreadContext ctx(b, 0, 1);
+  // Find a call and verify the instruction stream passes through the callee
+  // and then continues (no traps); 10k ops without throwing is the check.
+  int calls = 0, rets = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const ArchOp op = ctx.next();
+    calls += op.si->op == OpClass::kCall;
+    rets += op.si->op == OpClass::kReturn;
+  }
+  EXPECT_GT(calls, 0);
+  EXPECT_EQ(calls, rets);
+}
+
+TEST(ThreadContext, RejectsMismatchedSpecs) {
+  RandomGatherParams p;
+  Benchmark b = make_random_gather("tiny", p);
+  b.agens.pop_back();
+  EXPECT_THROW(ThreadContext(b, 0, 1), std::logic_error);
+}
+
+TEST(SpecProfiles, AllTwentyPresent) {
+  EXPECT_EQ(spec_benchmarks().size(), 20u);
+  for (const char* name :
+       {"ammp", "art", "mgrid", "apsi", "parser", "vortex", "crafty", "gap", "eon", "vpr",
+        "gzip", "perlbmk", "mcf", "lucas", "twolf", "bzip2", "wupwise", "equake", "mesa",
+        "swim"}) {
+    EXPECT_TRUE(is_spec_benchmark(name)) << name;
+    EXPECT_NO_THROW(spec_benchmark(name));
+  }
+  EXPECT_THROW(spec_benchmark("gcc"), std::out_of_range);
+}
+
+TEST(SpecProfiles, ProgramsAreFinalizedAndLooping) {
+  for (const auto& b : spec_benchmarks()) {
+    ASSERT_TRUE(b.program->finalized()) << b.name;
+    ThreadContext ctx(b, 0x1000000, 9);
+    for (int i = 0; i < 3000; ++i) ctx.next();
+    EXPECT_EQ(ctx.generated(), 3000u) << b.name;
+  }
+}
+
+TEST(Mixes, TableTwoShape) {
+  const auto& mixes = table2_mixes();
+  ASSERT_EQ(mixes.size(), 11u);
+  EXPECT_EQ(mixes[0].benchmarks, (std::array<std::string, 4>{"ammp", "art", "mgrid", "apsi"}));
+  EXPECT_EQ(mixes[8].benchmarks,
+            (std::array<std::string, 4>{"mgrid", "parser", "perlbmk", "mcf"}));
+  for (const auto& m : mixes)
+    for (const auto& name : m.benchmarks) EXPECT_TRUE(is_spec_benchmark(name)) << name;
+}
+
+TEST(Mixes, LookupByIndex) {
+  EXPECT_EQ(table2_mix(1).name, "Mix 1");
+  EXPECT_EQ(table2_mix(11).name, "Mix 11");
+  EXPECT_THROW(table2_mix(0), std::out_of_range);
+  EXPECT_THROW(table2_mix(12), std::out_of_range);
+  EXPECT_EQ(mix_benchmarks(table2_mix(2)).size(), 4u);
+}
+
+}  // namespace
+}  // namespace tlrob
