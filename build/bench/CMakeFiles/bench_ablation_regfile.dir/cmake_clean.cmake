@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regfile.dir/bench_ablation_regfile.cpp.o"
+  "CMakeFiles/bench_ablation_regfile.dir/bench_ablation_regfile.cpp.o.d"
+  "bench_ablation_regfile"
+  "bench_ablation_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rrob.dir/bench_fig2_rrob.cpp.o"
+  "CMakeFiles/bench_fig2_rrob.dir/bench_fig2_rrob.cpp.o.d"
+  "bench_fig2_rrob"
+  "bench_fig2_rrob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rrob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dod_rrob.dir/bench_fig3_dod_rrob.cpp.o"
+  "CMakeFiles/bench_fig3_dod_rrob.dir/bench_fig3_dod_rrob.cpp.o.d"
+  "bench_fig3_dod_rrob"
+  "bench_fig3_dod_rrob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dod_rrob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cdr.dir/bench_fig5_cdr.cpp.o"
+  "CMakeFiles/bench_fig5_cdr.dir/bench_fig5_cdr.cpp.o.d"
+  "bench_fig5_cdr"
+  "bench_fig5_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

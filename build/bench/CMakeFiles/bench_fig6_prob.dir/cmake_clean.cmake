@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_prob.dir/bench_fig6_prob.cpp.o"
+  "CMakeFiles/bench_fig6_prob.dir/bench_fig6_prob.cpp.o.d"
+  "bench_fig6_prob"
+  "bench_fig6_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

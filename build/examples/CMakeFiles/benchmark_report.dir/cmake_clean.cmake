@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_report.dir/benchmark_report.cpp.o"
+  "CMakeFiles/benchmark_report.dir/benchmark_report.cpp.o.d"
+  "benchmark_report"
+  "benchmark_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dod_predictor_demo.dir/dod_predictor_demo.cpp.o"
+  "CMakeFiles/dod_predictor_demo.dir/dod_predictor_demo.cpp.o.d"
+  "dod_predictor_demo"
+  "dod_predictor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dod_predictor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bimodal.cpp" "src/CMakeFiles/tlrob.dir/branch/bimodal.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/branch/bimodal.cpp.o.d"
+  "/root/repo/src/branch/btb.cpp" "src/CMakeFiles/tlrob.dir/branch/btb.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/branch/btb.cpp.o.d"
+  "/root/repo/src/branch/gshare.cpp" "src/CMakeFiles/tlrob.dir/branch/gshare.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/branch/gshare.cpp.o.d"
+  "/root/repo/src/branch/load_hit_predictor.cpp" "src/CMakeFiles/tlrob.dir/branch/load_hit_predictor.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/branch/load_hit_predictor.cpp.o.d"
+  "/root/repo/src/branch/predictor.cpp" "src/CMakeFiles/tlrob.dir/branch/predictor.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/branch/predictor.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/tlrob.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/tlrob.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/tlrob.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/tlrob.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/common/stats.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/CMakeFiles/tlrob.dir/isa/opcode.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/isa/opcode.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/CMakeFiles/tlrob.dir/isa/program.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/isa/program.cpp.o.d"
+  "/root/repo/src/isa/program_builder.cpp" "src/CMakeFiles/tlrob.dir/isa/program_builder.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/isa/program_builder.cpp.o.d"
+  "/root/repo/src/memory/cache.cpp" "src/CMakeFiles/tlrob.dir/memory/cache.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/memory/cache.cpp.o.d"
+  "/root/repo/src/memory/memory_channel.cpp" "src/CMakeFiles/tlrob.dir/memory/memory_channel.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/memory/memory_channel.cpp.o.d"
+  "/root/repo/src/memory/memory_system.cpp" "src/CMakeFiles/tlrob.dir/memory/memory_system.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/memory/memory_system.cpp.o.d"
+  "/root/repo/src/pipeline/dcra.cpp" "src/CMakeFiles/tlrob.dir/pipeline/dcra.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/pipeline/dcra.cpp.o.d"
+  "/root/repo/src/pipeline/fetch_policy.cpp" "src/CMakeFiles/tlrob.dir/pipeline/fetch_policy.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/pipeline/fetch_policy.cpp.o.d"
+  "/root/repo/src/pipeline/func_units.cpp" "src/CMakeFiles/tlrob.dir/pipeline/func_units.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/pipeline/func_units.cpp.o.d"
+  "/root/repo/src/pipeline/issue_queue.cpp" "src/CMakeFiles/tlrob.dir/pipeline/issue_queue.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/pipeline/issue_queue.cpp.o.d"
+  "/root/repo/src/pipeline/lsq.cpp" "src/CMakeFiles/tlrob.dir/pipeline/lsq.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/pipeline/lsq.cpp.o.d"
+  "/root/repo/src/pipeline/rename.cpp" "src/CMakeFiles/tlrob.dir/pipeline/rename.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/pipeline/rename.cpp.o.d"
+  "/root/repo/src/rob/allocation_policy.cpp" "src/CMakeFiles/tlrob.dir/rob/allocation_policy.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/rob/allocation_policy.cpp.o.d"
+  "/root/repo/src/rob/dod_predictor.cpp" "src/CMakeFiles/tlrob.dir/rob/dod_predictor.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/rob/dod_predictor.cpp.o.d"
+  "/root/repo/src/rob/rob.cpp" "src/CMakeFiles/tlrob.dir/rob/rob.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/rob/rob.cpp.o.d"
+  "/root/repo/src/rob/two_level_rob.cpp" "src/CMakeFiles/tlrob.dir/rob/two_level_rob.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/rob/two_level_rob.cpp.o.d"
+  "/root/repo/src/sim/config_override.cpp" "src/CMakeFiles/tlrob.dir/sim/config_override.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/sim/config_override.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/tlrob.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/tlrob.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/CMakeFiles/tlrob.dir/sim/presets.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/sim/presets.cpp.o.d"
+  "/root/repo/src/sim/smt_sim.cpp" "src/CMakeFiles/tlrob.dir/sim/smt_sim.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/sim/smt_sim.cpp.o.d"
+  "/root/repo/src/workload/addr_gen.cpp" "src/CMakeFiles/tlrob.dir/workload/addr_gen.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/workload/addr_gen.cpp.o.d"
+  "/root/repo/src/workload/branch_gen.cpp" "src/CMakeFiles/tlrob.dir/workload/branch_gen.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/workload/branch_gen.cpp.o.d"
+  "/root/repo/src/workload/kernels.cpp" "src/CMakeFiles/tlrob.dir/workload/kernels.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/workload/kernels.cpp.o.d"
+  "/root/repo/src/workload/mixes.cpp" "src/CMakeFiles/tlrob.dir/workload/mixes.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/workload/mixes.cpp.o.d"
+  "/root/repo/src/workload/spec_profiles.cpp" "src/CMakeFiles/tlrob.dir/workload/spec_profiles.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/workload/spec_profiles.cpp.o.d"
+  "/root/repo/src/workload/thread_context.cpp" "src/CMakeFiles/tlrob.dir/workload/thread_context.cpp.o" "gcc" "src/CMakeFiles/tlrob.dir/workload/thread_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

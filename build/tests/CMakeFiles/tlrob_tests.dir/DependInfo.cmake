@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_branch.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_branch.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rob.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_rob.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_rob.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_workload_character.cpp" "tests/CMakeFiles/tlrob_tests.dir/test_workload_character.cpp.o" "gcc" "tests/CMakeFiles/tlrob_tests.dir/test_workload_character.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tlrob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrob_tests.dir/test_branch.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_branch.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_common.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_isa.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_isa.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_memory.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_memory.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_pipeline.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_rob.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_rob.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_workload.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_workload.cpp.o.d"
+  "CMakeFiles/tlrob_tests.dir/test_workload_character.cpp.o"
+  "CMakeFiles/tlrob_tests.dir/test_workload_character.cpp.o.d"
+  "tlrob_tests"
+  "tlrob_tests.pdb"
+  "tlrob_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrob_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
