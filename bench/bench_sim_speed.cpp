@@ -58,6 +58,32 @@ void BM_FourThreadMixTwoLevel(benchmark::State& state) {
 }
 BENCHMARK(BM_FourThreadMixTwoLevel)->Unit(benchmark::kMillisecond);
 
+// Invariant-audit overhead: the four-thread two-level mix with the auditor
+// at each level, explicitly overriding any $TLROB_AUDIT ambient setting so
+// the three variants measure exactly what their names say. The cheap tier is
+// the always-on CI candidate and must stay within ~10% of Off; Full is the
+// debugging tier and is expected to be much slower (ground-truth recounts).
+void BM_AuditOverhead(benchmark::State& state, AuditLevel level) {
+  u64 insts = 0, cycles = 0;
+  for (auto _ : state) {
+    MachineConfig cfg = two_level_config(RobScheme::kReactive, 16);
+    cfg.audit = AuditConfig{};
+    cfg.audit.level = level;
+    cfg.audit.abort_on_violation = true;
+    SmtCore core(cfg, mix_benchmarks(table2_mix(1)));
+    const RunResult r = core.run(10000);
+    for (const auto& t : r.threads) insts += t.committed;
+    cycles += r.cycles;
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_AuditOverhead, Off, AuditLevel::kOff)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AuditOverhead, Cheap, AuditLevel::kCheap)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AuditOverhead, Full, AuditLevel::kFull)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -29,6 +29,15 @@ class IssueQueue {
   /// Releases the instruction's slot (issue confirmation or squash).
   void remove(DynInst* di);
 
+  /// Slot contents by index (nullptr = free); the invariant-audit checks
+  /// recount occupancy from these.
+  const DynInst* slot(u32 i) const { return slots_[i]; }
+
+  /// Test-only corruption hook for the invariant-audit suite: skews the
+  /// free-slot counter without touching the slots, simulating a leaked or
+  /// double-freed entry. Never called by the simulator.
+  void test_only_corrupt_free(i32 delta) { free_ = static_cast<u32>(free_ + delta); }
+
   /// Invokes f(DynInst&) for every occupied slot.
   template <typename F>
   void for_each(F&& f) {

@@ -19,6 +19,10 @@ void LoadStoreQueue::pop(DynInst* di) {
   di->lsq_allocated = false;
 }
 
+void LoadStoreQueue::test_only_drop_front() {
+  if (!entries_.empty()) entries_.pop_front();
+}
+
 void LoadStoreQueue::squash_after(u64 tseq) {
   while (!entries_.empty() && entries_.back()->tseq > tseq) {
     entries_.back()->lsq_allocated = false;

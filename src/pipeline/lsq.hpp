@@ -36,6 +36,17 @@ class LoadStoreQueue {
   /// if none. Only meaningful once older_stores_resolved().
   DynInst* forwarding_store(const DynInst& load) const;
 
+  /// Iterates oldest -> youngest (invariant-audit recounts).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const DynInst* e : entries_) f(*e);
+  }
+
+  /// Test-only corruption hook for the invariant-audit suite: drops the
+  /// oldest entry without clearing its lsq_allocated flag, simulating a
+  /// slot double-free. Never called by the simulator.
+  void test_only_drop_front();
+
  private:
   static bool overlap(const DynInst& a, const DynInst& b);
 

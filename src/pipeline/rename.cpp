@@ -1,5 +1,6 @@
 #include "pipeline/rename.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace tlrob {
@@ -95,6 +96,79 @@ void RenameUnit::consumers_read(const DynInst& di) {
 }
 
 void RenameUnit::consumers_cancel(const DynInst& di) { consumers_read(di); }
+
+std::vector<std::string> RenameUnit::audit_integrity() const {
+  std::vector<std::string> issues;
+  const u32 pools = cfg_.shared ? 1 : cfg_.num_threads;
+  // 0 = unseen, 1 = on a free list, 2 = RAT-mapped.
+  std::vector<u8> seen(state_.size(), 0);
+
+  for (u32 p = 0; p < pools; ++p) {
+    for (const bool fp : {false, true}) {
+      for (PhysReg r : fp ? free_fp_[p] : free_int_[p]) {
+        std::ostringstream os;
+        os << "free " << (fp ? "fp" : "int") << " register " << r << " (pool " << p << ") ";
+        if (r >= state_.size()) {
+          issues.push_back(os.str() + "is out of range");
+          continue;
+        }
+        if (is_fp_phys_[r] != fp) issues.push_back(os.str() + "has the wrong class");
+        if (seen[r] == 1)
+          issues.push_back(os.str() + "appears on a free list twice (double-free)");
+        seen[r] = 1;
+        if (state_[r] != RegState::kReady)
+          issues.push_back(os.str() + "is not inert (state != ready)");
+        if (readers_[r] != 0) issues.push_back(os.str() + "has pending readers");
+      }
+    }
+  }
+
+  for (u32 t = 0; t < cfg_.num_threads; ++t) {
+    for (u32 a = 0; a < kNumArchRegs; ++a) {
+      const PhysReg r = rat_[t][a];
+      std::ostringstream os;
+      os << "RAT[" << t << "][" << a << "] -> " << r << " ";
+      if (r >= state_.size()) {
+        issues.push_back(os.str() + "is out of range");
+        continue;
+      }
+      if (is_fp_phys_[r] != is_fp_reg(static_cast<ArchReg>(a)))
+        issues.push_back(os.str() + "has the wrong class");
+      if (seen[r] == 1)
+        issues.push_back(os.str() + "is simultaneously on a free list (use-after-free)");
+      else if (seen[r] == 2)
+        issues.push_back(os.str() + "is mapped by two RAT entries");
+      seen[r] = 2;
+    }
+  }
+
+  // Conservation: every renameable register is free or in use, exactly once.
+  for (u32 p = 0; p < pools; ++p) {
+    u64 int_use = 0, fp_use = 0;
+    for (u32 t = 0; t < cfg_.num_threads; ++t) {
+      if (pool(t) != p) continue;
+      int_use += int_use_[t];
+      fp_use += fp_use_[t];
+    }
+    if (free_int_[p].size() + int_use != int_rename_pool()) {
+      std::ostringstream os;
+      os << "int pool " << p << ": " << free_int_[p].size() << " free + " << int_use
+         << " in use != " << int_rename_pool() << " renameable (leak or double-free)";
+      issues.push_back(os.str());
+    }
+    if (free_fp_[p].size() + fp_use != fp_rename_pool()) {
+      std::ostringstream os;
+      os << "fp pool " << p << ": " << free_fp_[p].size() << " free + " << fp_use
+         << " in use != " << fp_rename_pool() << " renameable (leak or double-free)";
+      issues.push_back(os.str());
+    }
+  }
+  return issues;
+}
+
+void RenameUnit::test_only_leak_free_reg() {
+  if (!free_int_[0].empty()) free_int_[0].pop_back();
+}
 
 void RenameUnit::squash_undo(const DynInst& di) {
   if (di.dest_phys != kInvalidPhysReg) {

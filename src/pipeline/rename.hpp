@@ -12,6 +12,7 @@
 // for the ablation bench.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -97,6 +98,19 @@ class RenameUnit {
 
   PhysReg rat_entry(ThreadId t, ArchReg r) const { return rat_[t][r]; }
   const RenameConfig& config() const { return cfg_; }
+
+  /// Invariant-audit hook: verifies register conservation from first
+  /// principles — every renameable physical register is on exactly one free
+  /// list or counted in exactly one thread's use counter, free registers are
+  /// inert (ready, reader-free, right class, not mapped by any RAT) and RAT
+  /// entries are in range with the right class. Returns one human-readable
+  /// issue per violation (empty = clean).
+  std::vector<std::string> audit_integrity() const;
+
+  /// Test-only corruption hook for the invariant-audit suite: drops one
+  /// free integer register without adjusting any use counter, simulating a
+  /// leaked rename. Never called by the simulator.
+  void test_only_leak_free_reg();
 
  private:
   u32 pool(ThreadId t) const { return cfg_.shared ? 0 : t; }

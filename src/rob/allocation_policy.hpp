@@ -105,6 +105,13 @@ class TwoLevelRobController {
   DodPredictor* predictor() { return predictor_.get(); }
   StatGroup& stats() { return stats_; }
 
+  /// Invariant-audit introspection: whether `tid`'s current grant is backed
+  /// by a registered justifying miss, and which load it is. The audit's
+  /// second-level check re-derives the paper's allocation contract from
+  /// these plus the live ROB/partition state.
+  bool audit_has_trigger(ThreadId tid) const { return threads_[tid].has_trigger; }
+  u64 audit_trigger_tseq(ThreadId tid) const { return threads_[tid].trigger_tseq; }
+
  private:
   struct Candidate {
     u64 tseq = 0;

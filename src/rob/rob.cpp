@@ -31,6 +31,14 @@ DynInst* ReorderBuffer::find(u64 tseq) {
   return &*it;
 }
 
+const DynInst* ReorderBuffer::find(u64 tseq) const {
+  return const_cast<ReorderBuffer*>(this)->find(tseq);
+}
+
+void ReorderBuffer::test_only_swap(u32 i, u32 j) {
+  std::swap(insts_.at(i), insts_.at(j));
+}
+
 u32 ReorderBuffer::count_unexecuted_younger(u64 tseq, u32 window) const {
   u32 count = 0;
   u32 scanned = 0;

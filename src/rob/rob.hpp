@@ -48,6 +48,7 @@ class ReorderBuffer {
   /// O(1) lookup by per-thread sequence number; nullptr if the instruction
   /// has committed or been squashed.
   DynInst* find(u64 tseq);
+  const DynInst* find(u64 tseq) const;
 
   /// Removes the suffix younger than `tseq` (youngest first), invoking
   /// `on_remove(DynInst&)` for each before destruction.
@@ -74,6 +75,15 @@ class ReorderBuffer {
   void for_each(F&& f) {
     for (DynInst& di : insts_) f(di);
   }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const DynInst& di : insts_) f(di);
+  }
+
+  /// Test-only corruption hook for the invariant-audit suite: swaps two
+  /// window entries by position, deliberately breaking the age order every
+  /// consumer assumes. Never called by the simulator.
+  void test_only_swap(u32 i, u32 j);
 
  private:
   std::deque<DynInst> insts_;

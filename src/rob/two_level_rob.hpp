@@ -39,6 +39,11 @@ class SecondLevelRob {
   /// is counted from `now` onward.
   void reset_accounting(Cycle now);
 
+  /// Test-only corruption hook for the invariant-audit suite: rewrites the
+  /// owner without the allocate/release protocol, desynchronising ownership
+  /// from the granted windows. Never called by the simulator.
+  void test_only_set_owner(ThreadId t) { owner_ = t; }
+
  private:
   u32 entries_;
   ThreadId owner_ = kNoOwner;

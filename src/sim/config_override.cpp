@@ -65,6 +65,11 @@ MachineConfig apply_overrides(MachineConfig cfg, const Options& opts) {
   u32opt("mshr", cfg.memory.channel.mshr_entries);
   cfg.dcra.sharing = opts.get_double("dcra_sharing", cfg.dcra.sharing);
   cfg.seed = opts.get_u64("seed", cfg.seed);
+
+  if (opts.has("audit")) cfg.audit.level = parse_audit_level(opts.get("audit"));
+  cfg.audit.cheap_interval = opts.get_u64("audit_cheap_interval", cfg.audit.cheap_interval);
+  cfg.audit.full_interval = opts.get_u64("audit_full_interval", cfg.audit.full_interval);
+  cfg.audit.abort_on_violation = opts.get_bool("audit_abort", cfg.audit.abort_on_violation);
   return cfg;
 }
 

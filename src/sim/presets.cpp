@@ -63,7 +63,13 @@ std::string describe(const MachineConfig& cfg) {
      << "btb                    " << cfg.predictor.btb_entries << " entries, "
      << cfg.predictor.btb_ways << "-way\n"
      << "load-hit predictor     " << cfg.load_hit_entries << "-entry bimodal, "
-     << cfg.load_hit_history << "-bit history/thread\n";
+     << cfg.load_hit_history << "-bit history/thread\n"
+     << "invariant audit        " << audit_level_name(cfg.audit.level);
+  if (cfg.audit.level != AuditLevel::kOff)
+    os << " (cheap every " << cfg.audit.cheap_interval << ", full every "
+       << cfg.audit.full_interval << " cycles, "
+       << (cfg.audit.abort_on_violation ? "abort" : "record") << " on violation)";
+  os << "\n";
   return os.str();
 }
 

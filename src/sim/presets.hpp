@@ -8,6 +8,7 @@
 #include "pipeline/dcra.hpp"
 #include "pipeline/fetch_policy.hpp"
 #include "rob/allocation_policy.hpp"
+#include "verify/audit_context.hpp"
 
 namespace tlrob {
 
@@ -61,6 +62,11 @@ struct MachineConfig {
   PredictorConfig predictor{};
   u32 load_hit_entries = 1024;  // Table 1 load-hit predictor
   u32 load_hit_history = 8;
+
+  /// Pipeline invariant auditing (src/verify). Defaults to the process-wide
+  /// $TLROB_AUDIT setting so CI can turn the cheap tier on for every
+  /// existing test without touching them.
+  AuditConfig audit = default_audit_config();
 
   u64 seed = 12345;
 };

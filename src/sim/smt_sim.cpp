@@ -16,7 +16,8 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
       lhp_(cfg.load_hit_entries, cfg.load_hit_history, cfg.num_threads),
       dcra_(cfg.dcra, cfg.num_threads),
       second_(cfg.rob_second_level),
-      wp_rng_(cfg.seed ^ 0xabcdef12345ULL) {
+      wp_rng_(cfg.seed ^ 0xabcdef12345ULL),
+      auditor_(cfg.audit, cfg.num_threads) {
   if (benchmarks_.size() != cfg.num_threads)
     throw std::invalid_argument("SmtCore: one benchmark per hardware thread required");
   if (cfg.early_register_release && cfg.fetch_policy == FetchPolicyKind::kFlush)
@@ -41,6 +42,24 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
   std::vector<ReorderBuffer*> robs;
   for (auto& ts : threads_) robs.push_back(&ts.rob);
   rob_ctrl_ = std::make_unique<TwoLevelRobController>(cfg.rob, std::move(robs), second_);
+
+  // The audit view is built once: every pointer below is stable for the
+  // core's lifetime (threads_ never resizes after construction). Only the
+  // cycle and the outstanding-miss snapshots refresh per audit.
+  audit_ctx_.num_threads = cfg_.num_threads;
+  audit_ctx_.scheme = cfg_.rob.scheme;
+  audit_ctx_.adaptive_max_extra = cfg_.rob.adaptive_max_extra;
+  for (auto& ts : threads_) {
+    audit_ctx_.robs.push_back(&ts.rob);
+    audit_ctx_.lsqs.push_back(&ts.lsq);
+  }
+  audit_ctx_.iq = &iq_;
+  audit_ctx_.rename = &rename_;
+  audit_ctx_.second = &second_;
+  audit_ctx_.ctrl = rob_ctrl_.get();
+  audit_ctx_.outstanding_l1.assign(cfg_.num_threads, 0);
+  audit_ctx_.outstanding_l2.assign(cfg_.num_threads, 0);
+  audit_ctx_.last_committed = &auditor_.last_committed();
 
   // Functional cache warming (the stand-in for Simpoint fast-forwarding):
   // REUSED data starts resident, so short runs measure steady-state
@@ -293,6 +312,7 @@ void SmtCore::do_commit() {
       if (h->is_mem() && h->lsq_allocated) ts.lsq.pop(h);
       drop_outstanding_counts(*h);  // defensive: no committed op may keep gating fetch
       rename_.commit_free(*h);
+      auditor_.on_commit(t, h->tseq, cycle_);
       tracer_.event(cycle_, "commit  ", *h);
       if (!h->wrong_path) {
         ++ts.committed;
@@ -687,7 +707,27 @@ void SmtCore::tick() {
   do_fetch();
   if (cfg_.early_register_release) do_early_release();
   rob_ctrl_->tick(cycle_);
+  // Audit after the policy tick: maybe_release has run, so a granted window
+  // whose justifying load completed this cycle has been revoked and any
+  // surviving grant must be trigger-backed (see second_level_check.cpp).
+  if (auditor_.enabled()) {
+    refresh_audit_ctx();
+    auditor_.run_cycle(audit_ctx_);
+  }
   ++cycle_;
+}
+
+void SmtCore::refresh_audit_ctx() {
+  audit_ctx_.cycle = cycle_;
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
+    audit_ctx_.outstanding_l1[t] = threads_[t].outstanding_l1;
+    audit_ctx_.outstanding_l2[t] = threads_[t].outstanding_l2;
+  }
+}
+
+u32 SmtCore::audit_now() {
+  refresh_audit_ctx();
+  return auditor_.run_all(audit_ctx_);
 }
 
 void SmtCore::reset_measurement() {
@@ -752,6 +792,7 @@ RunResult SmtCore::snapshot_result() const {
   merge("channel.", mem.channel().stats());
   if (auto* p = const_cast<TwoLevelRobController&>(*rob_ctrl_).predictor())
     merge("dodpred.", p->stats());
+  merge("audit.", const_cast<InvariantChecker&>(auditor_).stats());
   r.counters["rob2.allocations"] = second_.total_allocations();
   r.counters["rob2.busy_cycles"] = second_.busy_cycles(cycle_);
   return r;

@@ -34,6 +34,7 @@
 #include "sim/metrics.hpp"
 #include "sim/presets.hpp"
 #include "sim/trace.hpp"
+#include "verify/invariant_checker.hpp"
 #include "workload/thread_context.hpp"
 
 namespace tlrob {
@@ -72,6 +73,20 @@ class SmtCore {
   StatGroup& stats() { return stats_; }
   PipelineTracer& tracer() { return tracer_; }
   const MachineConfig& config() const { return cfg_; }
+
+  /// The pipeline invariant auditor (cfg.audit decides what runs per cycle).
+  InvariantChecker& auditor() { return auditor_; }
+
+  /// Runs every registered invariant check against the current state
+  /// immediately, regardless of the configured audit level or intervals.
+  /// Returns the number of violations found by this sweep.
+  u32 audit_now();
+
+  /// Test-only mutable access to structures the audit tests corrupt; the
+  /// simulator itself never uses these.
+  ReorderBuffer& rob_for_test(ThreadId t) { return threads_[t].rob; }
+  LoadStoreQueue& lsq_for_test(ThreadId t) { return threads_[t].lsq; }
+  IssueQueue& iq_for_test() { return iq_; }
 
   /// Builds the RunResult for the current state (run() calls this at exit).
   RunResult snapshot_result() const;
@@ -137,6 +152,7 @@ class SmtCore {
   void squash_after(ThreadId tid, u64 tseq);
   void undispatch_after(ThreadId tid, u64 tseq);
   void drop_outstanding_counts(DynInst& di);
+  void refresh_audit_ctx();
   bool fetch_one(ThreadState& ts, ThreadId tid);
   DynInst make_correct_path_inst(ThreadState& ts, ThreadId tid);
   DynInst make_wrong_path_inst(ThreadState& ts, ThreadId tid);
@@ -175,6 +191,9 @@ class SmtCore {
   PipelineTracer tracer_;
   Histogram dod_true_{31};
   Histogram dod_proxy_{31};
+
+  InvariantChecker auditor_;
+  AuditContext audit_ctx_;  // stable pointers into the members above
 };
 
 }  // namespace tlrob

@@ -1,0 +1,118 @@
+#include "verify/invariant_checker.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "verify/checks/checks.hpp"
+
+namespace tlrob {
+
+const char* audit_level_name(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff: return "off";
+    case AuditLevel::kCheap: return "cheap";
+    case AuditLevel::kFull: return "full";
+  }
+  return "unknown";
+}
+
+AuditLevel parse_audit_level(const std::string& name) {
+  if (name == "off" || name == "none") return AuditLevel::kOff;
+  if (name == "cheap") return AuditLevel::kCheap;
+  if (name == "full") return AuditLevel::kFull;
+  throw std::invalid_argument("unknown audit level: " + name + " (expected off|cheap|full)");
+}
+
+AuditConfig default_audit_config() {
+  // Computed once: the environment is the process-wide CI switch, not a
+  // per-config knob (explicit assignment to MachineConfig::audit overrides).
+  static const AuditConfig cached = [] {
+    AuditConfig cfg;
+    if (const char* level = std::getenv("TLROB_AUDIT"); level != nullptr && *level != '\0') {
+      cfg.level = parse_audit_level(level);
+      cfg.abort_on_violation = cfg.level != AuditLevel::kOff;
+    }
+    if (const char* abort_env = std::getenv("TLROB_AUDIT_ABORT");
+        abort_env != nullptr && *abort_env != '\0')
+      cfg.abort_on_violation = std::string(abort_env) != "0";
+    return cfg;
+  }();
+  return cached;
+}
+
+InvariantChecker::InvariantChecker(const AuditConfig& cfg, u32 num_threads)
+    : cfg_(cfg), last_committed_(num_threads, 0) {
+  if (cfg_.cheap_interval == 0) cfg_.cheap_interval = 1;
+  if (cfg_.full_interval == 0) cfg_.full_interval = 1;
+  register_check(make_rob_order_check());
+  register_check(make_second_level_check());
+  register_check(make_iq_counts_check());
+  register_check(make_occupancy_check());
+  register_check(make_dod_recount_check());
+}
+
+void InvariantChecker::register_check(std::unique_ptr<InvariantCheck> check) {
+  checks_.push_back(std::move(check));
+}
+
+void InvariantChecker::run_tier(const AuditContext& ctx, InvariantCheck::Tier tier) {
+  for (const auto& check : checks_) {
+    if (check->tier() != tier) continue;
+    check->run(ctx, *this);
+    ++checks_executed_;
+    stats_.counter("checks_run").inc();
+  }
+}
+
+void InvariantChecker::run_cycle(const AuditContext& ctx) {
+  if (cfg_.level == AuditLevel::kOff) return;
+  if (ctx.cycle % cfg_.cheap_interval == 0) run_tier(ctx, InvariantCheck::Tier::kCheap);
+  if (cfg_.level == AuditLevel::kFull && ctx.cycle % cfg_.full_interval == 0)
+    run_tier(ctx, InvariantCheck::Tier::kFull);
+}
+
+u32 InvariantChecker::run_all(const AuditContext& ctx) {
+  const u64 before = total_violations_;
+  run_tier(ctx, InvariantCheck::Tier::kCheap);
+  run_tier(ctx, InvariantCheck::Tier::kFull);
+  return static_cast<u32>(total_violations_ - before);
+}
+
+void InvariantChecker::on_commit(ThreadId tid, u64 tseq, Cycle now) {
+  if (cfg_.level == AuditLevel::kOff) return;
+  u64& last = last_committed_[tid];
+  if (tseq <= last) {
+    std::ostringstream os;
+    os << "committed tseq " << tseq << " after tseq " << last
+       << " (per-thread commit must be in program order)";
+    violation(now, tid, "commit.order", os.str());
+  }
+  last = tseq;
+}
+
+void InvariantChecker::violation(Cycle cycle, ThreadId tid, const char* check,
+                                 std::string detail) {
+  ++total_violations_;
+  stats_.counter("violations").inc();
+  stats_.counter(std::string("violations.") + check).inc();
+  if (violations_.size() < cfg_.max_recorded)
+    violations_.push_back(AuditViolation{cycle, tid, check, std::move(detail)});
+  if (cfg_.abort_on_violation) throw AuditFailure("pipeline invariant violated\n" + report());
+}
+
+std::string InvariantChecker::report() const {
+  std::ostringstream os;
+  os << "audit report: " << total_violations_ << " violation(s), " << checks_executed_
+     << " check execution(s)\n";
+  for (const AuditViolation& v : violations_) {
+    os << "  [cycle " << v.cycle << "] ";
+    if (v.tid != kNoThread) os << "thread " << v.tid << " ";
+    os << v.check << ": " << v.detail << "\n";
+  }
+  if (total_violations_ > violations_.size())
+    os << "  ... " << (total_violations_ - violations_.size()) << " more not recorded\n";
+  return os.str();
+}
+
+}  // namespace tlrob

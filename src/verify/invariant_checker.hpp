@@ -1,0 +1,108 @@
+// Registry and driver for pipeline invariant checks.
+//
+// A check is a stateless object inspecting an AuditContext and reporting
+// violations through the checker. The checker owns the violation log, the
+// per-event commit-order state, the audit statistics, and the tier gating
+// (cheap checks every cheap_interval cycles, full checks every
+// full_interval cycles at AuditLevel::kFull).
+//
+// Violations are structured (cycle, thread, check id, detail) so a CI
+// failure names the broken contract instead of dumping an IPC diff; with
+// AuditConfig::abort_on_violation the first one throws AuditFailure carrying
+// the full report.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "verify/audit_context.hpp"
+
+namespace tlrob {
+
+/// One recorded contract violation.
+struct AuditViolation {
+  Cycle cycle = 0;
+  ThreadId tid = 0;       // kNoThread when not thread-specific
+  std::string check;      // dotted check id, e.g. "rob2.trigger"
+  std::string detail;     // offending entries / counts
+};
+
+inline constexpr ThreadId kNoThread = 0xffffffffu;
+
+/// Thrown by the checker when abort_on_violation is set.
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+class InvariantChecker;
+
+/// Interface every invariant check implements. `tier()` decides when the
+/// check runs; `run()` must not mutate pipeline state (it only sees const
+/// pointers) and reports through `InvariantChecker::violation`.
+class InvariantCheck {
+ public:
+  enum class Tier : u8 { kCheap, kFull };
+
+  virtual ~InvariantCheck() = default;
+  virtual const char* id() const = 0;
+  virtual Tier tier() const = 0;
+  virtual void run(const AuditContext& ctx, InvariantChecker& out) const = 0;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const AuditConfig& cfg, u32 num_threads);
+
+  /// Installs the standard check set (rob order, second-level ownership,
+  /// occupancy accounting, DoD recount). Done by the constructor; exposed so
+  /// tests can build a checker with a custom subset.
+  void register_check(std::unique_ptr<InvariantCheck> check);
+
+  bool enabled() const { return cfg_.level != AuditLevel::kOff; }
+  const AuditConfig& config() const { return cfg_; }
+
+  /// Per-cycle driver: honours the level and the tier intervals.
+  void run_cycle(const AuditContext& ctx);
+
+  /// Runs every registered check (both tiers) immediately, regardless of
+  /// level or interval. Returns the number of violations found by this
+  /// sweep. Used by tests and by SmtCore::audit_now().
+  u32 run_all(const AuditContext& ctx);
+
+  /// Per-event hook: thread `tid` committed the ROB head with sequence
+  /// `tseq`. Verifies per-thread program order and feeds the head-vs-
+  /// committed cross check.
+  void on_commit(ThreadId tid, u64 tseq, Cycle now);
+
+  /// Records a violation (called by checks). Honours max_recorded and
+  /// abort_on_violation.
+  void violation(Cycle cycle, ThreadId tid, const char* check, std::string detail);
+
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+  u64 total_violations() const { return total_violations_; }
+  /// Total check executions (one check over one context = 1).
+  u64 checks_executed() const { return checks_executed_; }
+  const std::vector<u64>& last_committed() const { return last_committed_; }
+
+  /// Human-readable structured report of every recorded violation.
+  std::string report() const;
+
+  StatGroup& stats() { return stats_; }
+
+ private:
+  void run_tier(const AuditContext& ctx, InvariantCheck::Tier tier);
+
+  AuditConfig cfg_;
+  std::vector<std::unique_ptr<InvariantCheck>> checks_;
+  std::vector<u64> last_committed_;  // per thread; 0 = nothing committed
+  std::vector<AuditViolation> violations_;
+  u64 total_violations_ = 0;
+  u64 checks_executed_ = 0;
+  StatGroup stats_;
+};
+
+}  // namespace tlrob

@@ -1,0 +1,289 @@
+// Tests for the pipeline invariant-audit subsystem (src/verify).
+//
+// Two halves:
+//   * clean runs — every allocation scheme runs violation-free at audit
+//     level "full" with abort-on-violation armed, so the checks themselves
+//     are known not to false-positive on any scheme's legal states;
+//   * injected corruption — each check is driven to fire by deliberately
+//     breaking the structure it guards through the test-only hooks, so a
+//     future refactor cannot silently turn a check into a no-op.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/presets.hpp"
+#include "sim/smt_sim.hpp"
+#include "verify/invariant_checker.hpp"
+#include "workload/mixes.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace tlrob {
+namespace {
+
+AuditConfig full_audit(bool abort_on_violation) {
+  AuditConfig audit;
+  audit.level = AuditLevel::kFull;
+  audit.cheap_interval = 1;
+  audit.full_interval = 16;
+  audit.abort_on_violation = abort_on_violation;
+  return audit;
+}
+
+/// A four-thread memory-bound mix on the given scheme with auditing armed.
+SmtCore make_audited_core(RobScheme scheme, bool abort_on_violation = false) {
+  MachineConfig cfg = two_level_config(scheme, 16);
+  cfg.audit = full_audit(abort_on_violation);
+  return SmtCore(cfg, mix_benchmarks(table2_mix(1)));
+}
+
+/// Ticks until `pred()` holds (tripping the audit exception if armed).
+template <typename Pred>
+bool tick_until(SmtCore& core, u64 max_cycles, Pred&& pred) {
+  for (u64 i = 0; i < max_cycles; ++i) {
+    if (pred()) return true;
+    core.tick();
+  }
+  return pred();
+}
+
+bool any_violation_of(const SmtCore& core, const std::string& check) {
+  const auto& vs = const_cast<SmtCore&>(core).auditor().violations();
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const AuditViolation& v) { return v.check == check; });
+}
+
+// ---------------------------------------------------------------------------
+// Configuration plumbing
+// ---------------------------------------------------------------------------
+
+TEST(AuditConfig, LevelParsingRoundTrips) {
+  EXPECT_EQ(parse_audit_level("off"), AuditLevel::kOff);
+  EXPECT_EQ(parse_audit_level("cheap"), AuditLevel::kCheap);
+  EXPECT_EQ(parse_audit_level("full"), AuditLevel::kFull);
+  EXPECT_THROW(parse_audit_level("loud"), std::invalid_argument);
+  EXPECT_STREQ(audit_level_name(AuditLevel::kCheap), "cheap");
+}
+
+TEST(AuditConfig, DescribeMentionsAuditLevel) {
+  MachineConfig cfg = baseline32_config();
+  cfg.audit.level = AuditLevel::kFull;
+  EXPECT_NE(describe(cfg).find("invariant audit        full"), std::string::npos);
+}
+
+TEST(AuditConfig, OffLevelRunsNoChecks) {
+  MachineConfig cfg = single_thread_config();
+  cfg.audit = AuditConfig{};  // level off regardless of environment
+  cfg.audit.level = AuditLevel::kOff;
+  SmtCore core(cfg, {spec_benchmark("crafty")});
+  core.run(2000);
+  EXPECT_EQ(core.auditor().checks_executed(), 0u);
+  EXPECT_EQ(core.auditor().total_violations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Clean runs: all four allocation schemes are violation-free at level full
+// ---------------------------------------------------------------------------
+
+class CleanSchemes : public ::testing::TestWithParam<RobScheme> {};
+
+TEST_P(CleanSchemes, FullAuditRunsViolationFree) {
+  SmtCore core = make_audited_core(GetParam(), /*abort_on_violation=*/true);
+  EXPECT_NO_THROW(core.run(4000));
+  EXPECT_GT(core.auditor().checks_executed(), 0u);
+  EXPECT_EQ(core.auditor().total_violations(), 0u);
+  EXPECT_EQ(core.audit_now(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllocationSchemes, CleanSchemes,
+                         ::testing::Values(RobScheme::kReactive,
+                                           RobScheme::kRelaxedReactive, RobScheme::kCdr,
+                                           RobScheme::kPredictive, RobScheme::kBaseline,
+                                           RobScheme::kAdaptive),
+                         [](const auto& info) {
+                           std::string name = rob_scheme_name(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(CleanRuns, SingleThreadFullAudit) {
+  MachineConfig cfg = single_thread_config();
+  cfg.audit = full_audit(true);
+  SmtCore core(cfg, {spec_benchmark("art")});
+  EXPECT_NO_THROW(core.run(4000));
+  EXPECT_EQ(core.auditor().total_violations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Injected corruption: each check fires on the defect it guards
+// ---------------------------------------------------------------------------
+
+TEST(InjectedCorruption, RobOrderSwapFiresRobOrder) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  ASSERT_TRUE(tick_until(core, 20000, [&] { return core.rob(0).size() >= 2; }));
+  ASSERT_EQ(core.audit_now(), 0u);
+  core.rob_for_test(0).test_only_swap(0, 1);
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "rob.order"));
+}
+
+TEST(InjectedCorruption, DuplicateCommitFiresCommitOrder) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  ASSERT_TRUE(tick_until(core, 20000, [&] { return core.committed(0) >= 10; }));
+  const u64 last = core.auditor().last_committed()[0];
+  ASSERT_GT(last, 0u);
+  core.auditor().on_commit(0, last, core.now());  // same instruction twice
+  EXPECT_TRUE(any_violation_of(core, "commit.order"));
+}
+
+TEST(InjectedCorruption, UnownedExtraCapacityFiresOwnership) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  core.run(500);
+  ASSERT_EQ(core.audit_now(), 0u);
+  // Grant a window with no allocation protocol behind it: nobody owns the
+  // partition (or another thread does), so thread 0's grant is illegal.
+  if (core.second_level().owned_by(0)) core.second_level().test_only_set_owner(1);
+  core.rob_for_test(0).grant_extra(core.second_level().entries());
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "rob2.ownership"));
+}
+
+TEST(InjectedCorruption, PartialGrantFiresAtomicUnitContract) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  // Wait for a legitimate allocation, then shave the grant: splitting the
+  // partition violates the paper's atomic-unit allocation.
+  const bool allocated = tick_until(core, 400000, [&] {
+    return core.second_level().owner() != SecondLevelRob::kNoOwner &&
+           core.rob(core.second_level().owner()).extra() > 0;
+  });
+  ASSERT_TRUE(allocated) << "no second-level allocation in 400k cycles";
+  ASSERT_EQ(core.audit_now(), 0u);
+  const ThreadId owner = core.second_level().owner();
+  core.rob_for_test(owner).grant_extra(core.second_level().entries() / 2);
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "rob2.ownership"));
+}
+
+TEST(InjectedCorruption, CompletedTriggerLoadFiresTriggerCheck) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  const bool allocated = tick_until(core, 400000, [&] {
+    return core.second_level().owner() != SecondLevelRob::kNoOwner &&
+           core.rob(core.second_level().owner()).extra() > 0;
+  });
+  ASSERT_TRUE(allocated) << "no second-level allocation in 400k cycles";
+  ASSERT_EQ(core.audit_now(), 0u);
+  // Forge the trigger load's result-valid bit: the grant is no longer
+  // justified by an outstanding miss, which the controller should have
+  // noticed and revoked.
+  const ThreadId owner = core.second_level().owner();
+  const u64 trigger = core.rob_controller().audit_trigger_tseq(owner);
+  DynInst* load = core.rob_for_test(owner).find(trigger);
+  ASSERT_NE(load, nullptr);
+  load->executed = true;
+  load->complete_cycle = core.now();  // keep dod.execflag quiet; this test is rob2.trigger
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "rob2.trigger"));
+}
+
+TEST(InjectedCorruption, FreeCountSkewFiresIqCounts) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  core.run(500);
+  ASSERT_EQ(core.audit_now(), 0u);
+  core.iq_for_test().test_only_corrupt_free(+1);
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "iq.counts"));
+  core.iq_for_test().test_only_corrupt_free(-1);  // restore for teardown sanity
+  EXPECT_EQ(core.audit_now(), 0u) << core.auditor().report();
+}
+
+TEST(InjectedCorruption, LsqSlotDoubleFreeFiresLsqOccupancy) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  ASSERT_TRUE(tick_until(core, 20000, [&] {
+    for (ThreadId t = 0; t < core.config().num_threads; ++t)
+      if (core.lsq_for_test(t).occupancy() > 0) return true;
+    return false;
+  }));
+  ASSERT_EQ(core.audit_now(), 0u);
+  for (ThreadId t = 0; t < core.config().num_threads; ++t) {
+    if (core.lsq_for_test(t).occupancy() == 0) continue;
+    core.lsq_for_test(t).test_only_drop_front();
+    break;
+  }
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "lsq.occupancy"));
+}
+
+TEST(InjectedCorruption, LeakedRenameRegisterFiresRenameAccounting) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  core.run(500);
+  ASSERT_EQ(core.audit_now(), 0u);
+  core.rename_unit().test_only_leak_free_reg();
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "rename.accounting"));
+}
+
+TEST(InjectedCorruption, ForgedMissFlagFiresOutstandingRecount) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  ASSERT_TRUE(tick_until(core, 20000, [&] { return core.rob(0).size() >= 1; }));
+  ASSERT_EQ(core.audit_now(), 0u);
+  // Forge an l2_counted flag the thread's outstanding counter never saw.
+  bool forged = false;
+  core.rob_for_test(0).for_each([&](DynInst& d) {
+    if (!forged && !d.l2_counted) {
+      d.l2_counted = true;
+      forged = true;
+    }
+  });
+  ASSERT_TRUE(forged);
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "dod.outstanding"));
+}
+
+TEST(InjectedCorruption, ForgedResultValidBitFiresExecFlag) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  ASSERT_TRUE(tick_until(core, 20000, [&] {
+    bool has_unexecuted = false;
+    core.rob(0).for_each([&](const DynInst& d) { has_unexecuted |= !d.executed; });
+    return has_unexecuted;
+  }));
+  ASSERT_EQ(core.audit_now(), 0u);
+  // Set the result-valid bit without completion bookkeeping: the DoD
+  // counter would silently under-count every window containing this entry.
+  bool forged = false;
+  core.rob_for_test(0).for_each([&](DynInst& d) {
+    if (!forged && !d.executed) {
+      d.executed = true;
+      forged = true;
+    }
+  });
+  ASSERT_TRUE(forged);
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "dod.execflag"));
+}
+
+TEST(InjectedCorruption, AbortOnViolationThrowsStructuredReport) {
+  SmtCore core = make_audited_core(RobScheme::kReactive, /*abort_on_violation=*/true);
+  EXPECT_NO_THROW(core.run(500));
+  core.iq_for_test().test_only_corrupt_free(+1);
+  try {
+    core.audit_now();
+    FAIL() << "expected AuditFailure";
+  } catch (const AuditFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("iq.counts"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+  }
+}
+
+TEST(InjectedCorruption, ViolationsAreCountedInRunResultStats) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  core.run(500);
+  core.rename_unit().test_only_leak_free_reg();
+  core.audit_now();
+  const RunResult r = core.snapshot_result();
+  const auto it = r.counters.find("audit.violations.rename.accounting");
+  ASSERT_NE(it, r.counters.end());
+  EXPECT_GT(it->second, 0u);
+  EXPECT_GT(r.counters.at("audit.checks_run"), 0u);
+}
+
+}  // namespace
+}  // namespace tlrob
