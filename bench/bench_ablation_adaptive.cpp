@@ -10,15 +10,6 @@
 // two-level design should therefore match or beat it with a simpler trigger.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
 int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  run_ft_figure("Adaptive-ROB (ref [23]) vs the two-level design",
-                {{"Baseline_32", baseline32_config()},
-                 {"Adaptive", two_level_config(RobScheme::kAdaptive, 16)},
-                 {"R-ROB16", two_level_config(RobScheme::kReactive, 16)}},
-                run_length(opts));
-  return 0;
+  return tlrob::bench::figure_main("ablation_adaptive", argc, argv);
 }

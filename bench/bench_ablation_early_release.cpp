@@ -10,28 +10,6 @@
 // register-file bound on how deep the miss-shadow window can grow.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
 int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-
-  auto with_er = [](MachineConfig cfg) {
-    cfg.early_register_release = true;
-    return cfg;
-  };
-
-  std::vector<std::vector<MixOutcome>> outcomes;
-  run_ft_figure("Early-register-release ablation",
-                {{"Baseline_32", baseline32_config()},
-                 {"R-ROB16", two_level_config(RobScheme::kReactive, 16)},
-                 {"R-ROB16+ER", with_er(two_level_config(RobScheme::kReactive, 16))},
-                 {"B32+ER", with_er(baseline32_config())}},
-                run_length(opts), &outcomes);
-
-  u64 released = 0;
-  for (const auto& out : outcomes[2]) released += run_counter(out.run, "core.rename.early_released");
-  std::printf("\nregisters released early under R-ROB16+ER across the 11 mixes: %llu\n",
-              static_cast<unsigned long long>(released));
-  return 0;
+  return tlrob::bench::figure_main("ablation_early_release", argc, argv);
 }

@@ -7,25 +7,6 @@
 // thread's post-miss instructions.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
 int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  const RunLength rl = run_length(opts);
-
-  auto with_policy = [](FetchPolicyKind k) {
-    MachineConfig cfg = baseline32_config();
-    cfg.fetch_policy = k;
-    return cfg;
-  };
-
-  run_ft_figure("Fetch-policy ablation (Baseline_32 machine)",
-                {{"DCRA", with_policy(FetchPolicyKind::kDcra)},
-                 {"ICOUNT", with_policy(FetchPolicyKind::kIcount)},
-                 {"STALL", with_policy(FetchPolicyKind::kStall)},
-                 {"FLUSH", with_policy(FetchPolicyKind::kFlush)},
-                 {"RoundRobin", with_policy(FetchPolicyKind::kRoundRobin)}},
-                rl);
-  return 0;
+  return tlrob::bench::figure_main("ablation_fetch_policy", argc, argv);
 }

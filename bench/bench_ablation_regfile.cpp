@@ -7,25 +7,6 @@
 // compresses both Baseline_128's loss and the two-level design's gain.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
 int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  const RunLength rl = run_length(opts);
-
-  auto shared = [](MachineConfig cfg) {
-    cfg.shared_regfile = true;
-    return cfg;
-  };
-
-  run_ft_figure("Register-file ablation: per-thread (default) vs shared pool",
-                {{"B32/perthr", baseline32_config()},
-                 {"B32/shared", shared(baseline32_config())},
-                 {"R16/perthr", two_level_config(RobScheme::kReactive, 16)},
-                 {"R16/shared", shared(two_level_config(RobScheme::kReactive, 16))},
-                 {"B128/perthr", baseline128_config()},
-                 {"B128/shared", shared(baseline128_config())}},
-                rl);
-  return 0;
+  return tlrob::bench::figure_main("ablation_regfile", argc, argv);
 }

@@ -7,34 +7,6 @@
 // fair throughput across the 11 mixes.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-namespace {
-
-double average_ft(const MachineConfig& cfg, const RunLength& rl) {
-  double sum = 0;
-  for (const auto& mix : table2_mixes()) sum += run_cell(cfg, mix, rl).ft;
-  return sum / static_cast<double>(table2_mixes().size());
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  const RunLength rl = run_length(opts);
-
-  const double base = average_ft(baseline32_config(), rl);
-  std::printf("=== DoD threshold sweep (average FT over 11 mixes) ===\n");
-  std::printf("Baseline_32: %.4f\n\n", base);
-  std::printf("%-10s %12s %12s %12s %12s\n", "threshold", "R-ROB", "vs base", "P-ROB",
-              "vs base");
-  for (u32 th : {1u, 2u, 4u, 8u, 12u, 16u, 24u, 31u}) {
-    const double r = average_ft(two_level_config(RobScheme::kReactive, th), rl);
-    const double p = average_ft(two_level_config(RobScheme::kPredictive, th), rl);
-    std::printf("%-10u %12.4f %+11.1f%% %12.4f %+11.1f%%\n", th, r,
-                100.0 * (r / base - 1.0), p, 100.0 * (p / base - 1.0));
-    std::fflush(stdout);
-  }
-  return 0;
+  return tlrob::bench::figure_main("ablation_threshold", argc, argv);
 }

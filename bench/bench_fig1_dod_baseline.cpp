@@ -8,27 +8,4 @@
 // paper's low-cost not-yet-executed proxy next to it.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  const RunLength rl = run_length(opts);
-
-  std::vector<Histogram> dod_true;
-  std::vector<Histogram> dod_proxy;
-  for (const auto& mix : table2_mixes()) {
-    const MixOutcome out = run_cell(baseline32_config(), mix, rl);
-    dod_true.push_back(out.run.dod_true);
-    dod_proxy.push_back(out.run.dod_proxy);
-  }
-
-  print_dod_histograms(
-      "Figure 1: instructions dependent on a long-latency load (Baseline_32)", dod_true);
-  std::printf("\n%-6s", "proxy");
-  for (const auto& h : dod_proxy) std::printf(" %9.2f", h.mean());
-  std::printf("   (mean of the result-valid-bit counting proxy)\n");
-  std::printf("\noverall mean dependents per long-latency load: %.2f\n",
-              overall_dod_mean(dod_true));
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("fig1", argc, argv); }

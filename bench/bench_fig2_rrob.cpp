@@ -8,15 +8,4 @@
 // extra pressure on the shared resources.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  run_ft_figure("Figure 2: FT with 2-Level R-ROB",
-                {{"Baseline_32", baseline32_config()},
-                 {"Baseline_128", baseline128_config()},
-                 {"R-ROB16", two_level_config(RobScheme::kReactive, 16)}},
-                run_length(opts));
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("fig2", argc, argv); }

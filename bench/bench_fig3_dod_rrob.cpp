@@ -11,36 +11,4 @@
 // nearly window-insensitive (see EXPERIMENTS.md).
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  const RunLength rl = run_length(opts);
-
-  std::vector<Histogram> base_proxy, rrob_proxy, base_true, rrob_true;
-  for (const auto& mix : table2_mixes()) {
-    const MixOutcome base = run_cell(baseline32_config(), mix, rl);
-    const MixOutcome rrob = run_cell(two_level_config(RobScheme::kReactive, 16), mix, rl);
-    base_proxy.push_back(base.run.dod_proxy);
-    rrob_proxy.push_back(rrob.run.dod_proxy);
-    base_true.push_back(base.run.dod_true);
-    rrob_true.push_back(rrob.run.dod_true);
-  }
-
-  print_dod_histograms(
-      "Figure 3: dependents behind a long-latency load with 2-Level R-ROB16 (counting "
-      "mechanism)",
-      rrob_proxy);
-  const double bp = overall_dod_mean(base_proxy);
-  const double rp = overall_dod_mean(rrob_proxy);
-  std::printf("\nmean counted dependents per long-latency load: baseline %.2f, R-ROB16 "
-              "%.2f (%+.1f%%; paper: +56%%)\n",
-              bp, rp, 100.0 * (rp / bp - 1.0));
-  const double bt = overall_dod_mean(base_true);
-  const double rt = overall_dod_mean(rrob_true);
-  std::printf("mean true transitive dependents:               baseline %.2f, R-ROB16 "
-              "%.2f (%+.1f%%)\n",
-              bt, rt, 100.0 * (rt / bt - 1.0));
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("fig3", argc, argv); }

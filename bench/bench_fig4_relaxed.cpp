@@ -6,15 +6,4 @@
 // sometimes over-allocates.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  run_ft_figure("Figure 4: FT with 2-Level Relaxed R-ROB15",
-                {{"Baseline_32", baseline32_config()},
-                 {"Baseline_128", baseline128_config()},
-                 {"RelaxedR15", two_level_config(RobScheme::kRelaxedReactive, 15)}},
-                run_length(opts));
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("fig4", argc, argv); }

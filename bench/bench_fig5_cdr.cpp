@@ -6,15 +6,4 @@
 // Paper result: +31.5% over Baseline_32 (the best of the reactive family).
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  run_ft_figure("Figure 5: FT with 2-Level CDR-ROB15 (32-cycle counting delay)",
-                {{"Baseline_32", baseline32_config()},
-                 {"Baseline_128", baseline128_config()},
-                 {"CDR-ROB15", two_level_config(RobScheme::kCdr, 15)}},
-                run_length(opts));
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("fig5", argc, argv); }

@@ -10,34 +10,4 @@
 // are stricter here; the threshold ablation bench sweeps the full range.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  std::vector<std::vector<MixOutcome>> outcomes;
-  run_ft_figure("Figure 6: FT with 2-Level P-ROB",
-                {{"Baseline_32", baseline32_config()},
-                 {"Baseline_128", baseline128_config()},
-                 {"P-ROB3", two_level_config(RobScheme::kPredictive, 3)},
-                 {"P-ROB5", two_level_config(RobScheme::kPredictive, 5)}},
-                run_length(opts), &outcomes);
-
-  // DoD-predictor quality for the P-ROB5 column.
-  u64 repeats = 0, changes = 0, cold = 0;
-  for (const auto& out : outcomes.back()) {
-    auto get = [&](const char* k) {
-      auto it = out.run.counters.find(k);
-      return it == out.run.counters.end() ? u64{0} : it->second;
-    };
-    repeats += get("dodpred.exact_repeats");
-    changes += get("dodpred.value_changes");
-    cold += get("dodpred.cold_installs");
-  }
-  const u64 total = repeats + changes + cold;
-  if (total > 0)
-    std::printf("\nDoD last-value predictor: %.1f%% exact repeats, %.1f%% value changes, "
-                "%.1f%% cold (paper argues per-path counts repeat)\n",
-                100.0 * repeats / total, 100.0 * changes / total, 100.0 * cold / total);
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("fig6", argc, argv); }

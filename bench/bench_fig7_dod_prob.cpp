@@ -7,28 +7,4 @@
 // 120.31% over the baseline, versus +56% for the reactive scheme.
 #include "experiment_cli.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  const RunLength rl = run_length(opts);
-
-  std::vector<Histogram> base_proxy, prob_proxy;
-  for (const auto& mix : table2_mixes()) {
-    base_proxy.push_back(run_cell(baseline32_config(), mix, rl).run.dod_proxy);
-    prob_proxy.push_back(
-        run_cell(two_level_config(RobScheme::kPredictive, 5), mix, rl).run.dod_proxy);
-  }
-
-  print_dod_histograms(
-      "Figure 7: dependents behind a long-latency load with 2-Level P-ROB5 (counting "
-      "mechanism)",
-      prob_proxy);
-  const double base_mean = overall_dod_mean(base_proxy);
-  const double prob_mean = overall_dod_mean(prob_proxy);
-  std::printf("\nmean counted dependents per long-latency load: baseline %.2f, P-ROB5 "
-              "%.2f (%+.1f%%; paper: +120.31%%)\n",
-              base_mean, prob_mean, 100.0 * (prob_mean / base_mean - 1.0));
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("fig7", argc, argv); }

@@ -2,45 +2,6 @@
 // measurement the paper uses to classify each benchmark as low / medium /
 // high ILP (§3: "we first simulated all benchmarks in the single-threaded
 // superscalar environment and used these results to classify them").
-#include <cstdio>
-
 #include "experiment_cli.hpp"
-#include "workload/spec_profiles.hpp"
 
-using namespace tlrob;
-using namespace tlrob::bench;
-
-namespace {
-const char* class_name(IlpClass c) {
-  switch (c) {
-    case IlpClass::kLow: return "low";
-    case IlpClass::kMid: return "mid";
-    case IlpClass::kHigh: return "high";
-  }
-  return "?";
-}
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opts = Options::from_args(argc, argv);
-  const RunLength rl = run_length(opts);
-
-  std::printf("=== Table 2 (part 1): single-thread classification ===\n");
-  std::printf("%-10s %8s %8s\n", "benchmark", "ST IPC", "class");
-  for (const auto& b : spec_benchmarks())
-    std::printf("%-10s %8.3f %8s\n", b.name.c_str(), single_thread_ipc(b.name, rl.insts),
-                class_name(b.expected_class));
-
-  std::printf("\n=== Table 2 (part 2): simulated benchmark mixes ===\n");
-  std::printf("%-8s  %-40s %s\n", "mix", "benchmarks", "classification");
-  for (const auto& mix : table2_mixes()) {
-    std::string benches;
-    for (const auto& n : mix.benchmarks) {
-      if (!benches.empty()) benches += ", ";
-      benches += n;
-    }
-    std::printf("%-8s  %-40s %s\n", mix.name.c_str(), benches.c_str(),
-                mix.classification.c_str());
-  }
-  return 0;
-}
+int main(int argc, char** argv) { return tlrob::bench::figure_main("table2", argc, argv); }

@@ -1,119 +1,25 @@
-// Shared helpers for the figure-reproduction benches: one row per mix, with
-// the paper's metrics, plus an average row — the same presentation as the
-// paper's bar charts.
+// Shared entry point for the figure-reproduction benches: each binary is a
+// thin preset over the campaign runner (src/runner), which expands the sweep
+// into independent jobs, executes them on a work-stealing pool and renders
+// the paper-style tables from the same records its JSON/CSV sinks write.
 //
-// Every bench accepts:
-//   insts=N   committed-instruction target per run (default 120000)
-//   warmup=N  warmup commits excluded from statistics (default 60000)
+// Every bench accepts the runner's common options (both `key=value` and
+// `--key value` forms, see src/runner/cli.hpp), most importantly:
+//   insts=N     committed-instruction target per run (default 120000)
+//   warmup=N    warmup commits excluded from statistics (default 60000)
+//   jobs=N      worker threads (default: hardware concurrency; 1 = serial)
+//   json=PATH   write JSON-lines records alongside the rendered table
+//   csv=PATH    write CSV records alongside the rendered table
 #pragma once
 
-#include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "common/config.hpp"
-#include "sim/experiment.hpp"
-#include "workload/mixes.hpp"
+#include "runner/cli.hpp"
 
 namespace tlrob::bench {
 
-struct RunLength {
-  u64 insts = 120000;
-  u64 warmup = 60000;
-};
-
-inline RunLength run_length(const Options& opts) {
-  RunLength rl;
-  rl.insts = opts.get_u64("insts", rl.insts);
-  rl.warmup = opts.get_u64("warmup", rl.warmup);
-  return rl;
-}
-
-/// Runs one (machine, mix) cell with the bench run length.
-inline MixOutcome run_cell(const MachineConfig& cfg, const Mix& mix, const RunLength& rl) {
-  MixOutcome out;
-  out.run = run_benchmarks(cfg, mix_benchmarks(mix), rl.insts, 0, rl.warmup);
-  for (const auto& t : out.run.threads) {
-    out.mt_ipc.push_back(t.ipc);
-    out.st_ipc.push_back(single_thread_ipc(t.benchmark, rl.insts));
-  }
-  out.ft = fair_throughput(out.mt_ipc, out.st_ipc);
-  out.throughput = out.run.total_throughput();
-  return out;
-}
-
-/// Runs every Table 2 mix under each named configuration and prints a fair-
-/// throughput table: one row per mix, one column per configuration, plus the
-/// average row and the percentage improvement of each column over the first
-/// (baseline) column.
-struct FtColumn {
-  std::string name;
-  MachineConfig config;
-};
-
-inline void run_ft_figure(const std::string& title, const std::vector<FtColumn>& columns,
-                          const RunLength& rl,
-                          std::vector<std::vector<MixOutcome>>* outcomes_out = nullptr) {
-  const auto& mixes = table2_mixes();
-  std::printf("=== %s ===\n", title.c_str());
-  std::printf("%-8s", "mix");
-  for (const auto& c : columns) std::printf(" %14s", c.name.c_str());
-  std::printf("\n");
-
-  std::vector<double> sums(columns.size(), 0.0);
-  std::vector<std::vector<MixOutcome>> outcomes(columns.size());
-  for (const auto& mix : mixes) {
-    std::printf("%-8s", mix.name.c_str());
-    for (size_t c = 0; c < columns.size(); ++c) {
-      const MixOutcome out = run_cell(columns[c].config, mix, rl);
-      sums[c] += out.ft;
-      std::printf(" %14.4f", out.ft);
-      std::fflush(stdout);
-      outcomes[c].push_back(out);
-    }
-    std::printf("\n");
-  }
-  std::printf("%-8s", "Average");
-  for (size_t c = 0; c < columns.size(); ++c)
-    std::printf(" %14.4f", sums[c] / static_cast<double>(mixes.size()));
-  std::printf("\n");
-  std::printf("%-8s", "vs base");
-  for (size_t c = 0; c < columns.size(); ++c)
-    std::printf(" %+13.1f%%", 100.0 * (sums[c] / sums[0] - 1.0));
-  std::printf("\n");
-  if (outcomes_out) *outcomes_out = std::move(outcomes);
-}
-
-/// Prints a Figures 1/3/7-style dependents histogram: one row per dependent
-/// count 0..31, one column per mix, plus per-mix sample means.
-inline void print_dod_histograms(const std::string& title,
-                                 const std::vector<Histogram>& per_mix) {
-  std::printf("=== %s ===\n", title.c_str());
-  std::printf("%-6s", "#dep");
-  for (size_t m = 0; m < per_mix.size(); ++m) std::printf(" %9s", ("Mix" + std::to_string(m + 1)).c_str());
-  std::printf("\n");
-  for (u32 v = 0; v <= 31; ++v) {
-    std::printf("%-6u", v);
-    for (const auto& h : per_mix) std::printf(" %9llu", static_cast<unsigned long long>(h.bucket(v)));
-    std::printf("\n");
-  }
-  std::printf("%-6s", "mean");
-  for (const auto& h : per_mix) std::printf(" %9.2f", h.mean());
-  std::printf("\n%-6s", "n");
-  for (const auto& h : per_mix) std::printf(" %9llu", static_cast<unsigned long long>(h.total_samples()));
-  std::printf("\n");
-}
-
-/// Average dependents-per-long-latency-load across mixes (sample-weighted).
-inline double overall_dod_mean(const std::vector<Histogram>& per_mix) {
-  double sum = 0;
-  u64 n = 0;
-  for (const auto& h : per_mix) {
-    sum += h.mean() * static_cast<double>(h.total_samples());
-    n += h.total_samples();
-  }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+/// main() body for a figure bench: runs the named runner preset with the
+/// command-line options.
+inline int figure_main(const std::string& preset, int argc, char** argv) {
+  return runner::preset_main(preset, argc, argv);
 }
 
 }  // namespace tlrob::bench

@@ -48,6 +48,21 @@ double Options::get_double(const std::string& key, double fallback) const {
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
+std::vector<std::string> Options::get_list(const std::string& key) const {
+  std::vector<std::string> out;
+  const std::string csv = get(key);
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 bool Options::get_bool(const std::string& key, bool fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;

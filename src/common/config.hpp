@@ -33,6 +33,10 @@ class Options {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Comma-separated list value ("1,2,5" -> {"1","2","5"}); empty items are
+  /// dropped, an absent key yields an empty vector.
+  std::vector<std::string> get_list(const std::string& key) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

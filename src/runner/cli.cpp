@@ -1,0 +1,178 @@
+#include "runner/cli.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+
+#include "runner/thread_pool.hpp"
+#include "sim/config_override.hpp"
+
+namespace tlrob::runner {
+
+namespace {
+
+/// Flags that never take a following-token value.
+bool is_bare_flag(const std::string& key) {
+  return key == "resume" || key == "per_job_seeds" || key == "no_render" ||
+         key == "list" || key == "help";
+}
+
+std::string normalise_key(std::string key) {
+  std::replace(key.begin(), key.end(), '-', '_');
+  return key;
+}
+
+}  // namespace
+
+Options parse_cli_args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.size() > 1 && tok[0] == '-' && tok.find('=') == std::string::npos) {
+      size_t dashes = 0;
+      while (dashes < tok.size() && tok[dashes] == '-') ++dashes;
+      const std::string key = normalise_key(tok.substr(dashes));
+      const bool next_is_value = i + 1 < argc && argv[i + 1][0] != '-' &&
+                                 std::string(argv[i + 1]).find('=') == std::string::npos;
+      if (!is_bare_flag(key) && next_is_value) {
+        tokens.push_back(key + "=" + argv[++i]);
+        continue;
+      }
+      tokens.push_back("--" + key);
+      continue;
+    }
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      size_t dashes = 0;
+      while (dashes < eq && tok[dashes] == '-') ++dashes;
+      tokens.push_back(normalise_key(tok.substr(dashes, eq - dashes)) + tok.substr(eq));
+      continue;
+    }
+    tokens.push_back(tok);  // positional
+  }
+  return Options::from_tokens(tokens);
+}
+
+namespace {
+
+ConfigColumn scheme_column(const std::string& scheme, u32 threshold) {
+  if (scheme == "baseline32") return {"Baseline_32", baseline32_config(), 0};
+  if (scheme == "baseline128") return {"Baseline_128", baseline128_config(), 0};
+  const RobScheme kind = parse_scheme(scheme);  // throws on unknown names
+  std::string prefix;
+  switch (kind) {
+    case RobScheme::kReactive: prefix = "R-ROB"; break;
+    case RobScheme::kRelaxedReactive: prefix = "RelaxedR"; break;
+    case RobScheme::kCdr: prefix = "CDR-ROB"; break;
+    case RobScheme::kPredictive: prefix = "P-ROB"; break;
+    case RobScheme::kAdaptive: prefix = "Adaptive"; break;
+    case RobScheme::kBaseline: return {"Baseline_32", baseline32_config(), 0};
+  }
+  return {prefix + std::to_string(threshold), two_level_config(kind, threshold), 0};
+}
+
+}  // namespace
+
+CampaignSpec custom_campaign(const Options& opts) {
+  CampaignSpec spec;
+  spec.name = opts.get("name", "custom");
+
+  auto schemes = opts.get_list("schemes");
+  if (schemes.empty()) schemes = {"baseline32", "rrob"};
+  std::vector<u32> thresholds;
+  for (const auto& t : opts.get_list("thresholds"))
+    thresholds.push_back(static_cast<u32>(std::stoul(t)));
+  if (thresholds.empty()) thresholds = {16};
+  for (const auto& scheme : schemes) {
+    if (scheme == "baseline32" || scheme == "baseline128" || scheme == "baseline") {
+      spec.columns.push_back(scheme_column(scheme, 0));
+      continue;
+    }
+    for (const u32 th : thresholds) spec.columns.push_back(scheme_column(scheme, th));
+  }
+
+  const auto mix_ids = opts.get_list("mixes");
+  if (mix_ids.empty()) {
+    spec.mixes = table2_mixes();
+  } else {
+    for (const auto& id : mix_ids)
+      spec.mixes.push_back(table2_mix(static_cast<u32>(std::stoul(id))));
+  }
+
+  spec.lengths = {{opts.get_u64("insts", 120000), opts.get_u64("warmup", 60000)}};
+  spec.seed = opts.get_u64("seed", spec.seed);
+  spec.per_job_seeds = opts.get_bool("per_job_seeds", false);
+  spec.max_cycles = opts.get_u64("max_cycles", 0);
+  return spec;
+}
+
+int run_from_options(const std::string& preset, const Options& opts) {
+  // Structured sinks ("-" = stdout).
+  std::vector<std::unique_ptr<std::ofstream>> files;
+  std::vector<std::unique_ptr<ResultSink>> owned;
+  auto open_sink = [&](const std::string& path, bool csv) -> ResultSink* {
+    std::ostream* os = &std::cout;
+    if (path != "-") {
+      files.push_back(std::make_unique<std::ofstream>(path, std::ios::trunc));
+      if (!files.back()->is_open())
+        throw std::runtime_error("cannot open sink file: " + path);
+      os = files.back().get();
+    }
+    if (csv)
+      owned.push_back(std::make_unique<CsvSink>(*os));
+    else
+      owned.push_back(std::make_unique<JsonlSink>(*os));
+    return owned.back().get();
+  };
+
+  std::vector<ResultSink*> sinks;
+  if (opts.has("json")) sinks.push_back(open_sink(opts.get("json"), /*csv=*/false));
+  if (opts.has("csv")) sinks.push_back(open_sink(opts.get("csv"), /*csv=*/true));
+
+  const bool render = !opts.get_bool("no_render", false);
+  const u32 jobs = WorkStealingPool::resolve_threads(
+      static_cast<u32>(opts.get_u64("jobs", 0)));
+
+  CampaignResult result;
+  std::string campaign_name;
+  if (!preset.empty()) {
+    PresetOptions popts;
+    popts.length = {opts.get_u64("insts", 120000), opts.get_u64("warmup", 60000)};
+    popts.jobs = jobs;
+    popts.extra_sinks = sinks;
+    popts.manifest_path = opts.get("manifest", "");
+    popts.resume = opts.get_bool("resume", false);
+    popts.render = render;
+    result = run_preset(preset, popts);
+    campaign_name = preset;
+  } else {
+    const CampaignSpec spec = custom_campaign(opts);
+    EngineOptions eng;
+    eng.jobs = jobs;
+    eng.manifest_path = opts.get("manifest", "");
+    eng.resume = opts.get_bool("resume", false);
+    FtTableSink table(stdout);
+    if (render) eng.sinks.push_back(&table);
+    for (ResultSink* s : sinks) eng.sinks.push_back(s);
+    result = run_campaign(spec, eng);
+    campaign_name = spec.name;
+  }
+
+  std::cerr << "campaign " << campaign_name << ": " << result.records.size() << " cells, "
+            << result.ok << " ok, " << result.failed << " failed, " << result.resumed
+            << " resumed (" << jobs << " worker" << (jobs == 1 ? "" : "s") << ")\n";
+  return result.failed > 0 ? 1 : 0;
+}
+
+int preset_main(const std::string& preset, int argc, const char* const* argv) {
+  try {
+    return run_from_options(preset, parse_cli_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace tlrob::runner

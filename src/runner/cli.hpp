@@ -1,0 +1,48 @@
+// Command-line front end shared by the tlrob-campaign binary and the ported
+// bench_fig*/bench_table* wrappers.
+//
+// Accepted option spellings: `key=value`, `--key=value`, `--key value` and
+// bare `--flag` (stored as "1"); the historical bench spelling `insts=N
+// warmup=N` keeps working unchanged. Common options:
+//   --jobs N        worker threads (0 = hardware concurrency, 1 = serial)
+//   --insts N       committed-instruction target per run
+//   --warmup N      warmup commits excluded from statistics
+//   --json PATH     JSON-lines sink ("-" = stdout)
+//   --csv PATH      CSV sink ("-" = stdout)
+//   --manifest PATH completion journal enabling --resume
+//   --resume        replay successful cells from the manifest
+//   --no-render     suppress the stdout tables (sink-only run)
+//   --max-cycles N  per-job cycle cap (the timeout; 0 = derived bound)
+//   --seed N        base RNG seed
+//   --per-job-seeds derive a distinct deterministic seed per cell
+// Custom sweeps (tlrob-campaign without a preset):
+//   --schemes a,b   baseline32|baseline128|rrob|relaxed|cdr|prob|adaptive
+//   --thresholds l  DoD thresholds crossed with the threshold-taking schemes
+//   --mixes 1,2,5   Table 2 mix subset (default: all 11)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "runner/presets.hpp"
+
+namespace tlrob::runner {
+
+/// Normalises argv into the repo's key=value Options (see header comment).
+Options parse_cli_args(int argc, const char* const* argv);
+
+/// Builds a custom sweep spec from --schemes/--thresholds/--mixes options.
+/// Throws std::invalid_argument on unknown scheme or mix names.
+CampaignSpec custom_campaign(const Options& opts);
+
+/// Runs a campaign described by already-parsed options: a preset when
+/// `preset` is non-empty, otherwise the custom sweep options. Wires up the
+/// json/csv/manifest sinks. Returns a process exit code (non-zero when any
+/// cell failed).
+int run_from_options(const std::string& preset, const Options& opts);
+
+/// main() body for the ported bench binaries.
+int preset_main(const std::string& preset, int argc, const char* const* argv);
+
+}  // namespace tlrob::runner

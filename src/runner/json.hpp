@@ -1,0 +1,58 @@
+// Minimal JSON support for the campaign runner's structured sinks and
+// manifest: a deterministic writer (fixed formatting, so parallel and serial
+// campaigns emit byte-identical lines) and a small recursive-descent parser
+// for reading the manifest back on resume.
+//
+// This is not a general-purpose JSON library — it covers exactly the JSON
+// the runner itself writes (objects, arrays, strings, numbers, booleans,
+// null) and keeps the raw lexeme of every number so 64-bit integers survive
+// a round trip without passing through a double.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob::runner {
+
+// -- writing ----------------------------------------------------------------
+
+/// JSON string literal (quotes included) with the mandatory escapes.
+std::string json_escape(const std::string& s);
+
+/// Deterministic double formatting: shortest round-trippable form via
+/// "%.17g", with non-finite values written as null (JSON has no inf/nan).
+std::string json_double(double v);
+
+/// Unsigned 64-bit integer (always an integer literal, never exponent form).
+std::string json_u64(u64 v);
+
+// -- parsing ----------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string lexeme;  // numbers: raw text; strings: unescaped content
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; returns a null value when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  double as_double() const;
+  u64 as_u64() const;
+  const std::string& as_string() const { return lexeme; }
+};
+
+/// Parses one JSON document. Throws std::invalid_argument on malformed
+/// input (with a byte offset in the message).
+JsonValue parse_json(const std::string& text);
+
+}  // namespace tlrob::runner

@@ -1,0 +1,47 @@
+// The paper's figures, tables and ablations as named campaign presets.
+//
+// Each preset supplies a CampaignSpec (what to sweep) plus its stdout
+// rendering: the generic fair-throughput table (FtTableSink) and/or a
+// figure-specific epilogue (histograms, predictor quality, threshold
+// summary) rendered from the returned records. The bench_fig*/bench_table*
+// binaries are thin wrappers over run_preset; the tlrob-campaign CLI
+// reaches the same presets by name.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runner/engine.hpp"
+#include "runner/render.hpp"
+
+namespace tlrob::runner {
+
+struct PresetOptions {
+  RunLengthSpec length{};
+  u32 jobs = 0;  // 0 = hardware concurrency, 1 = serial
+  /// Structured sinks in addition to the preset's stdout rendering.
+  std::vector<ResultSink*> extra_sinks;
+  std::string manifest_path;
+  bool resume = false;
+  /// Render the preset's tables/epilogue to `out` (off for sink-only runs).
+  bool render = true;
+  std::FILE* out = stdout;
+};
+
+/// All preset names, in presentation order.
+const std::vector<std::string>& preset_names();
+
+bool is_preset(const std::string& name);
+
+/// One-line description of a preset (for --list).
+std::string preset_summary(const std::string& name);
+
+/// The campaign a preset sweeps. Throws std::invalid_argument on unknown
+/// names.
+CampaignSpec preset_campaign(const std::string& name, const RunLengthSpec& length);
+
+/// Runs a preset end-to-end (campaign + rendering).
+CampaignResult run_preset(const std::string& name, const PresetOptions& opts);
+
+}  // namespace tlrob::runner

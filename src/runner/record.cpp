@@ -1,0 +1,172 @@
+#include "runner/record.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tlrob::runner {
+
+namespace {
+
+std::string join_key(const std::string& campaign, const std::string& config,
+                     const std::string& mix, u64 insts, u64 warmup, u64 max_cycles,
+                     u64 seed) {
+  std::ostringstream os;
+  os << campaign << '|' << config << '|' << mix << '|' << insts << '|' << warmup << '|'
+     << max_cycles << '|' << seed;
+  return os.str();
+}
+
+template <typename T, typename Fn>
+std::string json_array(const std::vector<T>& v, Fn to_text) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += to_text(v[i]);
+  }
+  return out + "]";
+}
+
+std::string dod_json(const DodSummary& d) {
+  std::string out = "{\"n\":" + json_u64(d.samples) + ",\"sum\":" + json_double(d.sum) +
+                    ",\"buckets\":" + json_array(d.buckets, json_u64) + "}";
+  return out;
+}
+
+DodSummary dod_from_json(const JsonValue& v) {
+  DodSummary d;
+  d.samples = v.at("n").as_u64();
+  d.sum = v.at("sum").as_double();
+  for (const auto& b : v.at("buckets").items) d.buckets.push_back(b.as_u64());
+  return d;
+}
+
+template <typename T, typename Fn>
+std::string joined(const std::vector<T>& v, Fn to_text) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ";";
+    out += to_text(v[i]);
+  }
+  return out;
+}
+
+/// CSV field quoting, only applied when the content requires it.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string job_key(const JobSpec& spec) {
+  return join_key(spec.campaign, spec.config_name, spec.mix.name, spec.insts, spec.warmup,
+                  spec.max_cycles, spec.seed);
+}
+
+std::string JobRecord::key() const {
+  return join_key(campaign, config, mix, insts, warmup, max_cycles, seed);
+}
+
+const char* to_string(JobStatus s) { return s == JobStatus::kOk ? "ok" : "failed"; }
+
+std::string scheme_name(const MachineConfig& cfg) {
+  switch (cfg.rob.scheme) {
+    case RobScheme::kBaseline: return "baseline";
+    case RobScheme::kReactive: return "rrob";
+    case RobScheme::kRelaxedReactive: return "relaxed";
+    case RobScheme::kCdr: return "cdr";
+    case RobScheme::kPredictive: return "prob";
+    case RobScheme::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::string to_json_line(const JobRecord& r) {
+  std::ostringstream os;
+  os << "{\"job\":" << json_u64(r.job)                                    //
+     << ",\"campaign\":" << json_escape(r.campaign)                       //
+     << ",\"config\":" << json_escape(r.config)                           //
+     << ",\"mix\":" << json_escape(r.mix)                                 //
+     << ",\"scheme\":" << json_escape(r.scheme)                           //
+     << ",\"threshold\":" << json_u64(r.threshold)                        //
+     << ",\"insts\":" << json_u64(r.insts)                                //
+     << ",\"warmup\":" << json_u64(r.warmup)                              //
+     << ",\"max_cycles\":" << json_u64(r.max_cycles)                      //
+     << ",\"seed\":" << json_u64(r.seed)                                  //
+     << ",\"status\":" << json_escape(to_string(r.status))                //
+     << ",\"error\":" << json_escape(r.error)                             //
+     << ",\"cycles\":" << json_u64(r.cycles)                              //
+     << ",\"ft\":" << json_double(r.ft)                                   //
+     << ",\"throughput\":" << json_double(r.throughput)                   //
+     << ",\"benchmarks\":" << json_array(r.benchmarks, json_escape)       //
+     << ",\"committed\":" << json_array(r.committed, json_u64)            //
+     << ",\"mt_ipc\":" << json_array(r.mt_ipc, json_double)               //
+     << ",\"st_ipc\":" << json_array(r.st_ipc, json_double)               //
+     << ",\"dod_true\":" << dod_json(r.dod_true)                          //
+     << ",\"dod_proxy\":" << dod_json(r.dod_proxy)                        //
+     << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : r.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << json_escape(k) << ":" << json_u64(v);
+  }
+  os << "}}";
+  return os.str();
+}
+
+JobRecord record_from_json_line(const std::string& line) {
+  const JsonValue v = parse_json(line);
+  if (!v.is_object()) throw std::invalid_argument("record line is not a JSON object");
+  JobRecord r;
+  r.job = v.at("job").as_u64();
+  r.campaign = v.at("campaign").as_string();
+  r.config = v.at("config").as_string();
+  r.mix = v.at("mix").as_string();
+  r.scheme = v.at("scheme").as_string();
+  r.threshold = static_cast<u32>(v.at("threshold").as_u64());
+  r.insts = v.at("insts").as_u64();
+  r.warmup = v.at("warmup").as_u64();
+  r.max_cycles = v.at("max_cycles").as_u64();
+  r.seed = v.at("seed").as_u64();
+  r.status = v.at("status").as_string() == "ok" ? JobStatus::kOk : JobStatus::kFailed;
+  r.error = v.at("error").as_string();
+  r.cycles = v.at("cycles").as_u64();
+  r.ft = v.at("ft").as_double();
+  r.throughput = v.at("throughput").as_double();
+  for (const auto& b : v.at("benchmarks").items) r.benchmarks.push_back(b.as_string());
+  for (const auto& c : v.at("committed").items) r.committed.push_back(c.as_u64());
+  for (const auto& x : v.at("mt_ipc").items) r.mt_ipc.push_back(x.as_double());
+  for (const auto& x : v.at("st_ipc").items) r.st_ipc.push_back(x.as_double());
+  r.dod_true = dod_from_json(v.at("dod_true"));
+  r.dod_proxy = dod_from_json(v.at("dod_proxy"));
+  for (const auto& [k, c] : v.at("counters").members) r.counters[k] = c.as_u64();
+  return r;
+}
+
+std::string csv_header() {
+  return "job,campaign,config,mix,scheme,threshold,insts,warmup,max_cycles,seed,status,"
+         "error,cycles,ft,throughput,benchmarks,committed,mt_ipc,st_ipc,dod_true_mean,"
+         "dod_proxy_mean";
+}
+
+std::string to_csv_line(const JobRecord& r) {
+  std::ostringstream os;
+  os << r.job << ',' << csv_field(r.campaign) << ',' << csv_field(r.config) << ','
+     << csv_field(r.mix) << ',' << r.scheme << ',' << r.threshold << ',' << r.insts << ','
+     << r.warmup << ',' << r.max_cycles << ',' << r.seed << ',' << to_string(r.status)
+     << ',' << csv_field(r.error) << ',' << r.cycles << ',' << json_double(r.ft) << ','
+     << json_double(r.throughput) << ','
+     << csv_field(joined(r.benchmarks, [](const std::string& s) { return s; })) << ','
+     << joined(r.committed, json_u64) << ',' << joined(r.mt_ipc, json_double) << ','
+     << joined(r.st_ipc, json_double) << ',' << json_double(r.dod_true.mean()) << ','
+     << json_double(r.dod_proxy.mean());
+  return os.str();
+}
+
+}  // namespace tlrob::runner

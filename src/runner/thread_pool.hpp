@@ -1,0 +1,67 @@
+// Work-stealing thread pool for campaign execution.
+//
+// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+// and steals FIFO from the other end of a victim's deque (oldest job first,
+// the classic Blumofe–Leiserson discipline). External submissions are dealt
+// round-robin across the workers. The implementation favours being obviously
+// correct under TSan over lock-free cleverness — campaign jobs run for
+// milliseconds to minutes, so per-deque mutexes are nowhere near the
+// bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob::runner {
+
+class WorkStealingPool {
+ public:
+  /// `threads` = 0 selects hardware concurrency (at least 1).
+  explicit WorkStealingPool(u32 threads = 0);
+
+  /// Drains remaining work, then joins the workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues a task. Safe from any thread, including pool workers (a
+  /// worker submits to its own deque, which is what makes recursive
+  /// fan-out work-stealing rather than FIFO).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// Resolves the 0 = hardware default the same way the constructor does.
+  static u32 resolve_threads(u32 threads);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void worker_loop(u32 self);
+  bool take_task(u32 self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mu_;
+  std::condition_variable work_cv_;  // workers sleep here when starved
+  std::condition_variable idle_cv_;  // wait_idle sleeps here
+  u64 unfinished_ = 0;               // submitted, not yet completed
+  u64 next_victim_ = 0;              // round-robin submit cursor
+  bool stopping_ = false;
+};
+
+}  // namespace tlrob::runner

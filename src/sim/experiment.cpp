@@ -1,6 +1,8 @@
 #include "sim/experiment.hpp"
 
 #include <map>
+#include <memory>
+#include <mutex>
 
 #include "workload/spec_profiles.hpp"
 
@@ -13,15 +15,32 @@ RunResult run_benchmarks(const MachineConfig& cfg, const std::vector<Benchmark>&
 }
 
 double single_thread_ipc(const std::string& benchmark, u64 commit_target) {
-  static std::map<std::pair<std::string, u64>, double> cache;
-  const auto key = std::make_pair(benchmark, commit_target);
-  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  // Concurrent campaign jobs share this memo, so it must be thread-safe and
+  // compute each key exactly once: the map hands out stable per-key entries
+  // under a short lock, and call_once runs the (expensive) reference
+  // simulation outside it while concurrent callers of the same key block
+  // until the value exists. Entries are pointer-stable because the map
+  // stores unique_ptrs and is never erased from.
+  struct Entry {
+    std::once_flag once;
+    double ipc = 0.0;
+  };
+  static std::mutex mu;
+  static std::map<std::pair<std::string, u64>, std::unique_ptr<Entry>> cache;
 
-  const MachineConfig cfg = single_thread_config();
-  const RunResult r = run_benchmarks(cfg, {spec_benchmark(benchmark)}, commit_target);
-  const double ipc = r.threads.at(0).ipc;
-  cache.emplace(key, ipc);
-  return ipc;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = cache[std::make_pair(benchmark, commit_target)];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  std::call_once(entry->once, [&] {
+    const MachineConfig cfg = single_thread_config();
+    const RunResult r = run_benchmarks(cfg, {spec_benchmark(benchmark)}, commit_target);
+    entry->ipc = r.threads.at(0).ipc;
+  });
+  return entry->ipc;
 }
 
 MixOutcome run_mix(const MachineConfig& cfg, const Mix& mix, u64 commit_target) {

@@ -24,7 +24,10 @@ RunResult run_benchmarks(const MachineConfig& cfg, const std::vector<Benchmark>&
                          u64 commit_target = kDefaultCommitTarget, u64 max_cycles = 0,
                          u64 warmup_insts = kDefaultWarmup);
 
-/// Single-threaded IPC of a SPEC profile on the reference machine (memoised).
+/// Single-threaded IPC of a SPEC profile on the reference machine.
+/// Memoised and thread-safe: each (benchmark, commit_target) is simulated
+/// exactly once, concurrent callers of an in-flight key block until the
+/// value exists (the campaign runner hits this from many workers at once).
 double single_thread_ipc(const std::string& benchmark, u64 commit_target = kDefaultCommitTarget);
 
 /// Everything a figure needs for one (machine, mix) cell.

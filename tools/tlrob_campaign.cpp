@@ -1,0 +1,71 @@
+// tlrob-campaign — the experiment-campaign CLI.
+//
+// Expands a declarative sweep (schemes × thresholds × mixes × run length)
+// or a named preset (fig1..fig7, table2, ablation_*) into independent jobs,
+// executes them on a work-stealing pool, and streams results into
+// structured sinks. Parallel runs are byte-identical to serial ones.
+//
+//   tlrob-campaign fig2 --jobs 8 --json fig2.jsonl
+//   tlrob-campaign --schemes rrob,prob --thresholds 8,16 --mixes 1,2
+//       --insts 20000 --warmup 5000 --csv sweep.csv
+//   tlrob-campaign fig2 --manifest fig2.manifest --resume
+//   tlrob-campaign --list
+#include <cstdio>
+
+#include "runner/cli.hpp"
+
+using namespace tlrob;
+using namespace tlrob::runner;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: tlrob-campaign [preset] [options]\n"
+      "       tlrob-campaign --schemes a,b --thresholds n,m [options]\n"
+      "\n"
+      "options (both --key value and key=value forms are accepted):\n"
+      "  --jobs N         worker threads (0 = hardware concurrency, 1 = serial)\n"
+      "  --insts N        committed-instruction target per run (default 120000)\n"
+      "  --warmup N       warmup commits excluded from statistics (default 60000)\n"
+      "  --json PATH      JSON-lines sink ('-' = stdout)\n"
+      "  --csv PATH       CSV sink ('-' = stdout)\n"
+      "  --manifest PATH  completion journal enabling --resume\n"
+      "  --resume         replay successful cells from the manifest\n"
+      "  --no-render      suppress stdout tables (sink-only run)\n"
+      "  --max-cycles N   per-job cycle cap / timeout (0 = derived bound)\n"
+      "  --seed N         base RNG seed (default 12345)\n"
+      "  --per-job-seeds  derive a distinct deterministic seed per cell\n"
+      "  --schemes LIST   baseline32|baseline128|rrob|relaxed|cdr|prob|adaptive\n"
+      "  --thresholds L   DoD thresholds crossed with the schemes (default 16)\n"
+      "  --mixes LIST     1-based Table 2 mix subset (default: all 11)\n"
+      "  --name NAME      campaign name for custom sweeps\n"
+      "  --list           list the available presets\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_cli_args(argc, argv);
+
+  if (opts.get_bool("help", false)) {
+    print_usage();
+    return 0;
+  }
+  if (opts.get_bool("list", false)) {
+    std::printf("%-24s %s\n", "preset", "sweep");
+    for (const auto& name : preset_names())
+      std::printf("%-24s %s\n", name.c_str(), preset_summary(name).c_str());
+    return 0;
+  }
+
+  std::string preset;
+  if (!opts.positional().empty()) {
+    preset = opts.positional().front();
+    if (!is_preset(preset)) {
+      std::fprintf(stderr, "error: unknown preset '%s' (try --list)\n", preset.c_str());
+      return 2;
+    }
+  }
+  return preset_main(preset, argc, argv);
+}
