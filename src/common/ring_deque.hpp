@@ -1,0 +1,87 @@
+// Fixed-capacity circular deque.
+//
+// The simulator's hot-path queues (per-thread ROB windows, LSQs, frontend
+// fetch buffers) all have a capacity known at construction and live for the
+// whole run; std::deque's chunked allocation is pure overhead there. This
+// ring allocates its storage once and never touches the heap again:
+// push/pop at either end are O(1), operator[] gives random access for the
+// binary searches the ROB runs, and — unlike std::deque — *every* slot is
+// address-stable, so pointers into surviving elements remain valid across
+// any sequence of pushes and pops (pointers to removed elements dangle,
+// exactly as with std::deque).
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob {
+
+template <typename T>
+class RingDeque {
+ public:
+  explicit RingDeque(u32 capacity) : slots_(capacity) {}
+
+  u32 capacity() const { return static_cast<u32>(slots_.size()); }
+  u32 size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity(); }
+
+  T& operator[](u32 i) { return slots_[index(i)]; }
+  const T& operator[](u32 i) const { return slots_[index(i)]; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+  T& back() { return slots_[index(count_ - 1)]; }
+  const T& back() const { return slots_[index(count_ - 1)]; }
+
+  void push_back(T&& v) {
+    check_space();
+    slots_[index(count_)] = std::move(v);
+    ++count_;
+  }
+  void push_front(T&& v) {
+    check_space();
+    head_ = head_ == 0 ? capacity() - 1 : head_ - 1;
+    slots_[head_] = std::move(v);
+    ++count_;
+  }
+  void pop_back() {
+    check_nonempty();
+    --count_;
+  }
+  void pop_front() {
+    check_nonempty();
+    head_ = head_ + 1 == capacity() ? 0 : head_ + 1;
+    --count_;
+  }
+
+  /// True when `p` is the address of a live slot (the pool-audit check uses
+  /// this to prove no structure holds a pointer into recycled storage).
+  bool owns(const T* p) const {
+    if (p < slots_.data() || p >= slots_.data() + slots_.size()) return false;
+    const u32 raw = static_cast<u32>(p - slots_.data());
+    const u32 logical = raw >= head_ ? raw - head_ : raw + capacity() - head_;
+    return logical < count_;
+  }
+
+ private:
+  u32 index(u32 i) const {
+    const u32 j = head_ + i;
+    return j >= capacity() ? j - capacity() : j;
+  }
+  void check_space() const {
+    if (full()) throw std::logic_error("RingDeque: push on full ring");
+  }
+  void check_nonempty() const {
+    if (empty()) throw std::logic_error("RingDeque: pop on empty ring");
+  }
+
+  std::vector<T> slots_;
+  u32 head_ = 0;
+  u32 count_ = 0;
+};
+
+}  // namespace tlrob

@@ -14,6 +14,11 @@ Cache::Cache(std::string name, const CacheGeometry& geo) : name_(std::move(name)
   if ((sets_ & (sets_ - 1)) != 0)
     throw std::invalid_argument(name_ + ": set count must be a power of two");
   lines_.resize(lines);
+  cnt_accesses_ = &stats_.counter("accesses");
+  cnt_misses_ = &stats_.counter("misses");
+  cnt_mshr_merges_ = &stats_.counter("mshr_merges");
+  cnt_fill_bypass_ = &stats_.counter("fill_bypass");
+  cnt_evictions_ = &stats_.counter("evictions");
 }
 
 Cache::Line* Cache::find(Addr addr) {
@@ -27,16 +32,16 @@ Cache::Line* Cache::find(Addr addr) {
 }
 
 Cache::Probe Cache::probe(Addr addr, Cycle now) {
-  stats_.counter("accesses").inc();
+  cnt_accesses_->inc();
   Probe p;
   if (Line* l = find(addr)) {
     p.present = true;
     p.ready_at = l->ready_at;
     p.fill_from_memory = l->fill_from_memory;
     l->lru = ++stamp_;
-    if (l->ready_at > now) stats_.counter("mshr_merges").inc();
+    if (l->ready_at > now) cnt_mshr_merges_->inc();
   } else {
-    stats_.counter("misses").inc();
+    cnt_misses_->inc();
   }
   return p;
 }
@@ -64,11 +69,11 @@ bool Cache::fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* e
     if (victim == nullptr || l.lru < victim->lru) victim = &l;
   }
   if (victim == nullptr) {
-    stats_.counter("fill_bypass").inc();
+    cnt_fill_bypass_->inc();
     return false;
   }
   if (victim->valid && victim->dirty && evicted_dirty) *evicted_dirty = true;
-  if (victim->valid) stats_.counter("evictions").inc();
+  if (victim->valid) cnt_evictions_->inc();
   victim->valid = true;
   victim->tag = tag;
   victim->ready_at = ready_at;

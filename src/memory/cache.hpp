@@ -75,6 +75,14 @@ class Cache {
   std::vector<Line> lines_;
   u64 stamp_ = 0;
   StatGroup stats_;
+  // Cached stat handles (StatGroup map nodes are address-stable and reset()
+  // zeroes in place); probe() runs on every memory access, so the per-call
+  // map lookups were measurable. Declared after stats_.
+  Counter* cnt_accesses_;
+  Counter* cnt_misses_;
+  Counter* cnt_mshr_merges_;
+  Counter* cnt_fill_bypass_;
+  Counter* cnt_evictions_;
 };
 
 }  // namespace tlrob

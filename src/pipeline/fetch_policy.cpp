@@ -10,39 +10,40 @@ namespace {
 
 /// ICOUNT ordering: fewest instructions in the front end + issue queue first
 /// (ties by thread id for determinism).
-std::vector<ThreadId> icount_order(const std::vector<ThreadFetchView>& views) {
-  std::vector<ThreadId> order(views.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](ThreadId a, ThreadId b) {
+void icount_order(const std::vector<ThreadFetchView>& views, std::vector<ThreadId>& out) {
+  out.resize(views.size());
+  std::iota(out.begin(), out.end(), 0);
+  std::stable_sort(out.begin(), out.end(), [&](ThreadId a, ThreadId b) {
     return views[a].frontend_count + views[a].iq_count <
            views[b].frontend_count + views[b].iq_count;
   });
-  return order;
 }
 
 class RoundRobinPolicy final : public FetchPolicy {
  public:
-  std::vector<ThreadId> order(const std::vector<ThreadFetchView>& views, Cycle now) override {
-    std::vector<ThreadId> o(views.size());
+  void order(const std::vector<ThreadFetchView>& views, Cycle now,
+             std::vector<ThreadId>& out) override {
     const u32 n = static_cast<u32>(views.size());
-    for (u32 i = 0; i < n; ++i) o[i] = static_cast<ThreadId>((now + i) % n);
-    return o;
+    out.resize(n);
+    for (u32 i = 0; i < n; ++i) out[i] = static_cast<ThreadId>((now + i) % n);
   }
   FetchPolicyKind kind() const override { return FetchPolicyKind::kRoundRobin; }
 };
 
 class IcountPolicy final : public FetchPolicy {
  public:
-  std::vector<ThreadId> order(const std::vector<ThreadFetchView>& views, Cycle) override {
-    return icount_order(views);
+  void order(const std::vector<ThreadFetchView>& views, Cycle,
+             std::vector<ThreadId>& out) override {
+    icount_order(views, out);
   }
   FetchPolicyKind kind() const override { return FetchPolicyKind::kIcount; }
 };
 
 class StallPolicy : public FetchPolicy {
  public:
-  std::vector<ThreadId> order(const std::vector<ThreadFetchView>& views, Cycle) override {
-    return icount_order(views);
+  void order(const std::vector<ThreadFetchView>& views, Cycle,
+             std::vector<ThreadId>& out) override {
+    icount_order(views, out);
   }
   bool may_fetch(ThreadId tid, const std::vector<ThreadFetchView>& views) override {
     return views[tid].outstanding_l2 == 0;
@@ -60,8 +61,9 @@ class DcraPolicy final : public FetchPolicy {
  public:
   explicit DcraPolicy(DcraController* dcra) : dcra_(dcra) {}
 
-  std::vector<ThreadId> order(const std::vector<ThreadFetchView>& views, Cycle) override {
-    return icount_order(views);
+  void order(const std::vector<ThreadFetchView>& views, Cycle,
+             std::vector<ThreadId>& out) override {
+    icount_order(views, out);
   }
   bool may_fetch(ThreadId tid, const std::vector<ThreadFetchView>& views) override {
     // Resource-cap gating is enforced by the core at dispatch through the

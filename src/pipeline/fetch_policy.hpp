@@ -31,9 +31,12 @@ class FetchPolicy {
  public:
   virtual ~FetchPolicy() = default;
 
-  /// Returns thread ids highest-priority first.
-  virtual std::vector<ThreadId> order(const std::vector<ThreadFetchView>& views,
-                                      Cycle now) = 0;
+  /// Fills `out` with thread ids highest-priority first. `out` is cleared
+  /// first; its capacity is retained across calls, so the per-cycle ranking
+  /// is allocation-free with a reused buffer. Policies are stateless between
+  /// calls.
+  virtual void order(const std::vector<ThreadFetchView>& views, Cycle now,
+                     std::vector<ThreadId>& out) = 0;
 
   /// Gate: false forbids fetching for the thread this cycle.
   virtual bool may_fetch(ThreadId tid, const std::vector<ThreadFetchView>& views) {

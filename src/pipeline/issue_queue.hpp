@@ -45,14 +45,17 @@ class IssueQueue {
       if (di != nullptr) f(*di);
   }
 
-  /// Collects occupied entries matching a predicate (used by squash and by
-  /// the issue stage's candidate scan).
+  /// Collects occupied entries matching a predicate into a caller-owned
+  /// scratch buffer (cleared first; capacity is retained across calls, so a
+  /// reused buffer makes the per-cycle candidate scan allocation-free).
+  /// Selection order is slot order — ascending slot index, i.e. the order
+  /// entries were placed by insert(), which always takes the lowest free
+  /// slot. Callers needing age order sort the result by seq themselves.
   template <typename Pred>
-  std::vector<DynInst*> collect(Pred&& pred) {
-    std::vector<DynInst*> out;
+  void collect_into(std::vector<DynInst*>& out, Pred&& pred) {
+    out.clear();
     for (DynInst* di : slots_)
       if (di != nullptr && pred(*di)) out.push_back(di);
-    return out;
   }
 
  private:

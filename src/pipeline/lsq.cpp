@@ -8,7 +8,7 @@ namespace tlrob {
 void LoadStoreQueue::push(DynInst* di) {
   if (!has_free()) throw std::logic_error("LoadStoreQueue::push on full queue");
   assert(entries_.empty() || entries_.back()->tseq < di->tseq);
-  entries_.push_back(di);
+  entries_.push_back(std::move(di));
   di->lsq_allocated = true;
 }
 
@@ -36,8 +36,8 @@ bool LoadStoreQueue::overlap(const DynInst& a, const DynInst& b) {
 }
 
 bool LoadStoreQueue::older_stores_resolved(const DynInst& load) const {
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    const DynInst* e = *it;
+  for (u32 i = entries_.size(); i-- > 0;) {
+    const DynInst* e = entries_[i];
     if (e->tseq >= load.tseq) continue;
     if (e->is_store() && !e->addr_resolved) return false;
   }
@@ -45,8 +45,8 @@ bool LoadStoreQueue::older_stores_resolved(const DynInst& load) const {
 }
 
 DynInst* LoadStoreQueue::forwarding_store(const DynInst& load) const {
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    DynInst* e = *it;
+  for (u32 i = entries_.size(); i-- > 0;) {
+    DynInst* e = entries_[i];
     if (e->tseq >= load.tseq) continue;
     if (e->is_store() && e->addr_resolved && overlap(*e, load)) return e;
   }

@@ -4,21 +4,24 @@
 // older store in its thread has resolved its address; if the youngest older
 // store with an overlapping address has issued, the load forwards from it
 // (1-cycle store-to-load forward) instead of accessing the cache.
+//
+// Entries are pointers into the thread's ROB slab, held in a fixed ring
+// sized at the queue's capacity — the LSQ never allocates after
+// construction.
 #pragma once
 
-#include <deque>
-
+#include "common/ring_deque.hpp"
 #include "pipeline/dyn_inst.hpp"
 
 namespace tlrob {
 
 class LoadStoreQueue {
  public:
-  explicit LoadStoreQueue(u32 entries) : capacity_(entries) {}
+  explicit LoadStoreQueue(u32 entries) : entries_(entries) {}
 
-  bool has_free() const { return entries_.size() < capacity_; }
-  u32 capacity() const { return capacity_; }
-  u32 occupancy() const { return static_cast<u32>(entries_.size()); }
+  bool has_free() const { return !entries_.full(); }
+  u32 capacity() const { return entries_.capacity(); }
+  u32 occupancy() const { return entries_.size(); }
 
   /// Dispatch inserts in program order.
   void push(DynInst* di);
@@ -39,7 +42,7 @@ class LoadStoreQueue {
   /// Iterates oldest -> youngest (invariant-audit recounts).
   template <typename F>
   void for_each(F&& f) const {
-    for (const DynInst* e : entries_) f(*e);
+    for (u32 i = 0; i < entries_.size(); ++i) f(*entries_[i]);
   }
 
   /// Test-only corruption hook for the invariant-audit suite: drops the
@@ -50,8 +53,7 @@ class LoadStoreQueue {
  private:
   static bool overlap(const DynInst& a, const DynInst& b);
 
-  std::deque<DynInst*> entries_;  // program order (oldest at front)
-  u32 capacity_;
+  RingDeque<DynInst*> entries_;  // program order (oldest at front)
 };
 
 }  // namespace tlrob

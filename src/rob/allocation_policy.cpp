@@ -22,6 +22,22 @@ TwoLevelRobController::TwoLevelRobController(const RobPolicyConfig& cfg,
     : cfg_(cfg), robs_(std::move(robs)), second_(second), threads_(robs_.size()) {
   if (cfg.scheme == RobScheme::kPredictive)
     predictor_ = std::make_unique<DodPredictor>(cfg.predictor_entries);
+  cnt_allocations_ = &stats_.counter("allocations");
+  cnt_lease_grants_ = &stats_.counter("lease_grants_or_renewals");
+  cnt_releases_ = &stats_.counter("releases");
+  cnt_l2_miss_candidates_ = &stats_.counter("l2_miss_candidates");
+  cnt_rejected_high_dod_ = &stats_.counter("rejected_high_dod");
+  cnt_predictions_ = &stats_.counter("predictions");
+  cnt_prediction_cold_misses_ = &stats_.counter("prediction_cold_misses");
+  cnt_predictive_allocations_ = &stats_.counter("predictive_allocations");
+  cnt_verification_failures_ = &stats_.counter("verification_failures");
+  cnt_adaptive_grows_ = &stats_.counter("adaptive.grows");
+  cnt_adaptive_shrinks_ = &stats_.counter("adaptive.shrinks");
+  avg_dod_at_decision_ = &stats_.average("dod_at_decision");
+  for (u32 t = 0; t < threads_.size(); ++t) {
+    cnt_allocations_tid_.push_back(&stats_.counter("allocations.t" + std::to_string(t)));
+    cnt_busy_tid_.push_back(&stats_.counter("busy.t" + std::to_string(t)));
+  }
 }
 
 u32 TwoLevelRobController::dod_count(ThreadId tid, u64 tseq) const {
@@ -33,8 +49,8 @@ void TwoLevelRobController::acquire(ThreadId tid, u64 tseq, Cycle now) {
   if (second_.available()) {
     second_.allocate(tid, now);
     robs_[tid]->grant_extra(second_.entries());
-    stats_.counter("allocations").inc();
-    stats_.counter("allocations.t" + std::to_string(tid)).inc();
+    cnt_allocations_->inc();
+    cnt_allocations_tid_[tid]->inc();
   } else if (second_.owned_by(tid)) {
     // Renewal: a drain (revoked extra, waiting for release) can be re-armed
     // by a fresh qualifying miss while the lease lasts.
@@ -42,11 +58,11 @@ void TwoLevelRobController::acquire(ThreadId tid, u64 tseq, Cycle now) {
   }
   threads_[tid].trigger_tseq = tseq;
   threads_[tid].has_trigger = true;
-  stats_.counter("lease_grants_or_renewals").inc();
+  cnt_lease_grants_->inc();
 }
 
-void TwoLevelRobController::maybe_release(ThreadId tid, Cycle now) {
-  if (!second_.owned_by(tid)) return;
+bool TwoLevelRobController::maybe_release(ThreadId tid, Cycle now) {
+  if (!second_.owned_by(tid)) return false;
   ThreadState& ts = threads_[tid];
   ReorderBuffer& rob = *robs_[tid];
 
@@ -55,14 +71,15 @@ void TwoLevelRobController::maybe_release(ThreadId tid, Cycle now) {
     if (DynInst* t = rob.find(ts.trigger_tseq))
       trigger_live = !t->executed;  // still waiting on the miss
   }
-  if (trigger_live) return;
+  if (trigger_live) return false;
 
   // No justifying miss: stop dispatching into the second level and drain.
+  bool changed = rob.extra() != 0 || ts.has_trigger;
   rob.revoke_extra();
   ts.has_trigger = false;
-  if (rob.size() > rob.base_capacity()) return;  // drain back into level 1 first
+  if (rob.size() > rob.base_capacity()) return changed;  // drain into level 1 first
 
-  stats_.counter("busy.t" + std::to_string(tid)).inc(now - second_.acquired_at());
+  cnt_busy_tid_[tid]->inc(now - second_.acquired_at());
   // The cooldown exists to rotate the partition among contenders; with no
   // other thread waiting for it, re-acquisition is free.
   bool contended = false;
@@ -70,7 +87,8 @@ void TwoLevelRobController::maybe_release(ThreadId tid, Cycle now) {
     if (o != tid && !threads_[o].cands.empty()) contended = true;
   ts.cooldown_until = contended ? now + cfg_.lease_cooldown : now;
   second_.release(now);
-  stats_.counter("releases").inc();
+  cnt_releases_->inc();
+  return true;
 }
 
 bool TwoLevelRobController::lease_expired(ThreadId tid, Cycle now) const {
@@ -82,20 +100,20 @@ void TwoLevelRobController::on_l2_miss_detected(DynInst& load, Cycle now) {
   if (load.wrong_path) return;
   const ThreadId tid = load.tid;
   ThreadState& ts = threads_[tid];
-  stats_.counter("l2_miss_candidates").inc();
+  cnt_l2_miss_candidates_->inc();
 
   if (cfg_.scheme == RobScheme::kPredictive) {
     const auto pred = predictor_->predict(tid, load.pc);
     if (pred.has_value()) {
-      stats_.counter("predictions").inc();
+      cnt_predictions_->inc();
       const bool can_acquire_fresh = second_.available() && now >= ts.cooldown_until;
       const bool can_renew = second_.owned_by(tid) && !lease_expired(tid, now);
       if (*pred < cfg_.dod_threshold && (can_acquire_fresh || can_renew)) {
         acquire(tid, load.tseq, now);
-        stats_.counter("predictive_allocations").inc();
+        cnt_predictive_allocations_->inc();
       }
     } else {
-      stats_.counter("prediction_cold_misses").inc();
+      cnt_prediction_cold_misses_->inc();
     }
     // Track for verification at fill regardless of the decision.
     ts.cands.push_back({load.tseq, now, kNeverCycle, false});
@@ -120,7 +138,7 @@ void TwoLevelRobController::on_load_fill(DynInst& load, Cycle now) {
     predictor_->update(tid, load.pc, actual);
     if (second_.owned_by(tid) && ts.has_trigger && ts.trigger_tseq == load.tseq &&
         actual >= cfg_.dod_threshold) {
-      stats_.counter("verification_failures").inc();
+      cnt_verification_failures_->inc();
       ts.has_trigger = false;  // lease no longer justified; release on drain
     }
   }
@@ -153,12 +171,12 @@ bool TwoLevelRobController::evaluate(ThreadId tid, Candidate& c, Cycle now) {
 
   if (conditions) {
     const u32 dod = dod_count(tid, c.tseq);
-    stats_.average("dod_at_decision").sample(static_cast<double>(dod));
+    avg_dod_at_decision_->sample(static_cast<double>(dod));
     if (dod < cfg_.dod_threshold) {
       acquire(tid, c.tseq, now);
       return true;  // decision made; candidate retired
     }
-    stats_.counter("rejected_high_dod").inc();
+    cnt_rejected_high_dod_->inc();
     // A high count can shrink as independent work executes; keep re-checking
     // while the miss is outstanding.
   }
@@ -166,8 +184,9 @@ bool TwoLevelRobController::evaluate(ThreadId tid, Candidate& c, Cycle now) {
   return false;
 }
 
-void TwoLevelRobController::adaptive_tick(Cycle now) {
-  if (now % cfg_.adaptive_interval != 0) return;
+bool TwoLevelRobController::adaptive_tick(Cycle now) {
+  if (now % cfg_.adaptive_interval != 0) return false;
+  bool resized = false;
   for (u32 tid = 0; tid < threads_.size(); ++tid) {
     ThreadState& ts = threads_[tid];
     ReorderBuffer& rob = *robs_[tid];
@@ -182,26 +201,27 @@ void TwoLevelRobController::adaptive_tick(Cycle now) {
       // instructions at the shared issue logic — shrink one partition.
       if (ts.adaptive_extra >= cfg_.adaptive_step) {
         ts.adaptive_extra -= cfg_.adaptive_step;
-        stats_.counter("adaptive.shrinks").inc();
+        cnt_adaptive_shrinks_->inc();
+        resized = true;
       }
     } else if (window_saturated && head_blocked) {
       // Commit-bound phase: the window is full behind a long-latency op and
       // the work in it drains quickly — grow one partition.
       if (ts.adaptive_extra + cfg_.adaptive_step <= cfg_.adaptive_max_extra) {
         ts.adaptive_extra += cfg_.adaptive_step;
-        stats_.counter("adaptive.grows").inc();
+        cnt_adaptive_grows_->inc();
+        resized = true;
       }
     }
     rob.grant_extra(ts.adaptive_extra);
   }
+  return resized;
 }
 
-void TwoLevelRobController::tick(Cycle now) {
-  if (cfg_.scheme == RobScheme::kBaseline) return;
-  if (cfg_.scheme == RobScheme::kAdaptive) {
-    adaptive_tick(now);
-    return;
-  }
+bool TwoLevelRobController::tick(Cycle now) {
+  if (cfg_.scheme == RobScheme::kBaseline) return false;
+  if (cfg_.scheme == RobScheme::kAdaptive) return adaptive_tick(now);
+  bool activity = false;
   // Rotate the evaluation order so that when several threads have qualifying
   // candidates pending, the partition does not always go to the lowest id.
   const u32 n = static_cast<u32>(threads_.size());
@@ -210,14 +230,35 @@ void TwoLevelRobController::tick(Cycle now) {
     ThreadState& ts = threads_[tid];
     if (cfg_.scheme != RobScheme::kPredictive) {
       for (auto it = ts.cands.begin(); it != ts.cands.end();) {
-        if (it->next_check <= now && evaluate(tid, *it, now))
+        if (it->next_check <= now && evaluate(tid, *it, now)) {
           it = ts.cands.erase(it);
-        else
+          activity = true;  // retirement or acquisition; deferrals stay put
+        } else {
           ++it;
+        }
       }
     }
-    maybe_release(tid, now);
+    if (maybe_release(tid, now)) activity = true;
   }
+  return activity;
+}
+
+Cycle TwoLevelRobController::next_wake(Cycle now) const {
+  switch (cfg_.scheme) {
+    case RobScheme::kBaseline:
+    case RobScheme::kPredictive:
+      // Notification-driven only (predictive candidates carry
+      // next_check = kNeverCycle and are resolved at fill time).
+      return kNeverCycle;
+    case RobScheme::kAdaptive:
+      return (now / cfg_.adaptive_interval + 1) * cfg_.adaptive_interval;
+    default:
+      break;
+  }
+  Cycle best = kNeverCycle;
+  for (const ThreadState& ts : threads_)
+    for (const Candidate& c : ts.cands) best = std::min(best, c.next_check);
+  return best;
 }
 
 void TwoLevelRobController::on_squash(ThreadId tid, u64 tseq) {

@@ -94,8 +94,19 @@ class TwoLevelRobController {
   void on_load_fill(DynInst& load, Cycle now);
 
   /// Per-cycle policy evaluation (reactive re-checks, CDR snapshots, lease
-  /// release when the holder has drained).
-  void tick(Cycle now);
+  /// release when the holder has drained). Returns true iff the call changed
+  /// controller-visible state (candidate retired, partition acquired /
+  /// revoked / released, adaptive partition resized) — the core's idle-cycle
+  /// fast-forward treats a false return as "this tick was a no-op".
+  bool tick(Cycle now);
+
+  /// Earliest future cycle at which tick() could act without any new
+  /// notification arriving first: the next due candidate re-check (reactive
+  /// variants), the next phase-classification boundary (kAdaptive), or
+  /// kNeverCycle (baseline / predictive, which act only on notifications).
+  /// Pure time-gates only — state-driven work (lease release on drain) is
+  /// triggered by commits/fills, which are activity in their own right.
+  Cycle next_wake(Cycle now) const;
 
   /// Squash hook: drops candidates of `tid` younger than `tseq`.
   void on_squash(ThreadId tid, u64 tseq);
@@ -127,12 +138,17 @@ class TwoLevelRobController {
     u32 adaptive_extra = 0;    // kAdaptive: current growth above level 1
   };
 
-  /// Evaluates one candidate; returns true if it should be dropped.
+  /// Evaluates one candidate; returns true if it should be dropped (a drop
+  /// — retirement or acquisition — always counts as tick() activity; a
+  /// deferral only moves next_check, which next_wake() reports).
   bool evaluate(ThreadId tid, Candidate& c, Cycle now);
   /// kAdaptive: periodic per-thread grow/shrink decision (ref [23]).
-  void adaptive_tick(Cycle now);
+  /// Returns true iff any partition actually grew or shrank.
+  bool adaptive_tick(Cycle now);
   void acquire(ThreadId tid, u64 tseq, Cycle now);
-  void maybe_release(ThreadId tid, Cycle now);
+  /// Returns true iff state changed (trigger cleared, extra revoked, or the
+  /// partition released).
+  bool maybe_release(ThreadId tid, Cycle now);
   /// True when `tid` holds the partition past the fairness bound, so its
   /// lease must not be renewed by further misses.
   bool lease_expired(ThreadId tid, Cycle now) const;
@@ -144,6 +160,25 @@ class TwoLevelRobController {
   std::unique_ptr<DodPredictor> predictor_;
   std::vector<ThreadState> threads_;
   StatGroup stats_;
+
+  // Cached stat handles: StatGroup::counter() is a map lookup and showed up
+  // hot in the per-cycle profile; map nodes are address-stable and reset()
+  // zeroes values in place, so these stay valid for the controller's life.
+  // Declared after stats_ (initialisation order).
+  Counter* cnt_allocations_;
+  Counter* cnt_lease_grants_;
+  Counter* cnt_releases_;
+  Counter* cnt_l2_miss_candidates_;
+  Counter* cnt_rejected_high_dod_;
+  Counter* cnt_predictions_;
+  Counter* cnt_prediction_cold_misses_;
+  Counter* cnt_predictive_allocations_;
+  Counter* cnt_verification_failures_;
+  Counter* cnt_adaptive_grows_;
+  Counter* cnt_adaptive_shrinks_;
+  Average* avg_dod_at_decision_;
+  std::vector<Counter*> cnt_allocations_tid_;  // "allocations.tN"
+  std::vector<Counter*> cnt_busy_tid_;         // "busy.tN"
 };
 
 }  // namespace tlrob

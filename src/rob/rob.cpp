@@ -1,10 +1,16 @@
 #include "rob/rob.hpp"
 
 #include <stdexcept>
-#include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 namespace tlrob {
+
+void ReorderBuffer::grant_extra(u32 entries) {
+  if (entries > max_extra_)
+    throw std::logic_error("ReorderBuffer::grant_extra beyond the slab's max_extra");
+  extra_ = entries;
+}
 
 DynInst& ReorderBuffer::push(DynInst&& di) {
   if (full()) throw std::logic_error("ReorderBuffer::push on full ROB");
@@ -25,10 +31,17 @@ DynInst* ReorderBuffer::find(u64 tseq) {
   if (insts_.empty()) return nullptr;
   if (tseq < insts_.front().tseq || tseq > insts_.back().tseq) return nullptr;
   // Binary search: the window is sorted by (gappy) strictly-increasing tseq.
-  auto it = std::lower_bound(insts_.begin(), insts_.end(), tseq,
-                             [](const DynInst& d, u64 v) { return d.tseq < v; });
-  if (it == insts_.end() || it->tseq != tseq) return nullptr;
-  return &*it;
+  u32 lo = 0;
+  u32 hi = insts_.size();
+  while (lo < hi) {
+    const u32 mid = lo + (hi - lo) / 2;
+    if (insts_[mid].tseq < tseq)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo == insts_.size() || insts_[lo].tseq != tseq) return nullptr;
+  return &insts_[lo];
 }
 
 const DynInst* ReorderBuffer::find(u64 tseq) const {
@@ -36,13 +49,16 @@ const DynInst* ReorderBuffer::find(u64 tseq) const {
 }
 
 void ReorderBuffer::test_only_swap(u32 i, u32 j) {
-  std::swap(insts_.at(i), insts_.at(j));
+  if (i >= insts_.size() || j >= insts_.size())
+    throw std::out_of_range("ReorderBuffer::test_only_swap");
+  std::swap(insts_[i], insts_[j]);
 }
 
 u32 ReorderBuffer::count_unexecuted_younger(u64 tseq, u32 window) const {
   u32 count = 0;
   u32 scanned = 0;
-  for (const DynInst& di : insts_) {
+  for (u32 i = 0; i < insts_.size(); ++i) {
+    const DynInst& di = insts_[i];
     if (di.tseq <= tseq) continue;
     if (scanned >= window) break;
     ++scanned;
@@ -55,7 +71,8 @@ u32 ReorderBuffer::count_true_dependents(const DynInst& load) const {
   std::unordered_set<PhysReg> tainted;
   if (load.dest_phys != kInvalidPhysReg) tainted.insert(load.dest_phys);
   u32 count = 0;
-  for (const DynInst& di : insts_) {
+  for (u32 i = 0; i < insts_.size(); ++i) {
+    const DynInst& di = insts_[i];
     if (di.tseq <= load.tseq) continue;
     bool dep = false;
     for (PhysReg s : di.src_phys)

@@ -1,29 +1,46 @@
 // Per-thread reorder buffer.
 //
 // The ROB owns the DynInst storage for its thread's in-flight window; other
-// structures hold pointers into it. std::deque guarantees reference stability
-// for everything except the erased elements under push_back/pop_front/
-// pop_back, which are the only mutations performed. (tid, tseq) lookups are
-// O(1) because the window always holds a contiguous tseq range.
+// structures hold pointers into it. The window lives in a fixed ring slab
+// (RingDeque) sized for the largest capacity the buffer can ever be granted
+// (base + max_extra), allocated once at construction: dispatch and commit
+// recycle slots through a free-list discipline implicit in the ring (the
+// slot behind the tail is always the next reused), every slot is
+// address-stable for the core's lifetime, and the hot loop never touches
+// the heap. Pointers to popped (committed/squashed) entries dangle exactly
+// as they did under the previous std::deque — the pool-audit check
+// (verify/checks) proves no live structure keeps one.
+//
+// Lookups by tseq are binary searches: the window is sorted by strictly
+// increasing tseq, but squashed numbers are never reused, so the range has
+// gaps and an offset-from-head lookup would be wrong.
 //
 // Capacity is dynamic: `base_capacity` is the first-level size (32 in Table
 // 1); the two-level controller grants/revokes `extra` entries when the
-// shared second-level partition is allocated to this thread.
+// shared second-level partition is allocated to this thread, up to the
+// `max_extra` the slab was sized for.
 #pragma once
 
-#include <deque>
-
+#include "common/ring_deque.hpp"
 #include "pipeline/dyn_inst.hpp"
 
 namespace tlrob {
 
 class ReorderBuffer {
  public:
-  explicit ReorderBuffer(u32 base_capacity) : base_capacity_(base_capacity) {}
+  /// `max_extra` bounds what grant_extra may ever grant; the default covers
+  /// the Table 1 shared second level (384) for directly-constructed test
+  /// buffers. The core sizes it from the machine configuration.
+  static constexpr u32 kDefaultMaxExtra = 384;
+
+  explicit ReorderBuffer(u32 base_capacity, u32 max_extra = kDefaultMaxExtra)
+      : insts_(base_capacity + max_extra),
+        base_capacity_(base_capacity),
+        max_extra_(max_extra) {}
 
   u32 base_capacity() const { return base_capacity_; }
   u32 capacity() const { return base_capacity_ + extra_; }
-  u32 size() const { return static_cast<u32>(insts_.size()); }
+  u32 size() const { return insts_.size(); }
   bool empty() const { return insts_.empty(); }
   bool full() const { return size() >= capacity(); }
 
@@ -31,9 +48,10 @@ class ReorderBuffer {
   /// precondition even while the second level is attached).
   bool first_level_full() const { return size() >= base_capacity_; }
 
-  void grant_extra(u32 entries) { extra_ = entries; }
+  void grant_extra(u32 entries);
   void revoke_extra() { extra_ = 0; }
   u32 extra() const { return extra_; }
+  u32 max_extra() const { return max_extra_; }
 
   /// Appends a new instruction (dispatch). Requires !full().
   DynInst& push(DynInst&& di);
@@ -45,13 +63,17 @@ class ReorderBuffer {
   /// Commit: removes the head. Requires non-empty.
   void pop_head();
 
-  /// O(1) lookup by per-thread sequence number; nullptr if the instruction
-  /// has committed or been squashed.
+  /// Lookup by per-thread sequence number (binary search over the window);
+  /// nullptr if the instruction has committed or been squashed.
   DynInst* find(u64 tseq);
   const DynInst* find(u64 tseq) const;
 
+  /// Pool-audit hook: true iff `p` points at a live slot of this window's
+  /// slab (neither foreign storage nor a recycled/popped slot).
+  bool owns(const DynInst* p) const { return insts_.owns(p); }
+
   /// Removes the suffix younger than `tseq` (youngest first), invoking
-  /// `on_remove(DynInst&)` for each before destruction.
+  /// `on_remove(DynInst&)` for each before the slot is recycled.
   template <typename F>
   void squash_after(u64 tseq, F&& on_remove) {
     while (!insts_.empty() && insts_.back().tseq > tseq) {
@@ -73,11 +95,11 @@ class ReorderBuffer {
   /// Iterates oldest -> youngest.
   template <typename F>
   void for_each(F&& f) {
-    for (DynInst& di : insts_) f(di);
+    for (u32 i = 0; i < insts_.size(); ++i) f(insts_[i]);
   }
   template <typename F>
   void for_each(F&& f) const {
-    for (const DynInst& di : insts_) f(di);
+    for (u32 i = 0; i < insts_.size(); ++i) f(insts_[i]);
   }
 
   /// Test-only corruption hook for the invariant-audit suite: swaps two
@@ -86,8 +108,9 @@ class ReorderBuffer {
   void test_only_swap(u32 i, u32 j);
 
  private:
-  std::deque<DynInst> insts_;
+  RingDeque<DynInst> insts_;
   u32 base_capacity_;
+  u32 max_extra_;
   u32 extra_ = 0;
 };
 

@@ -1,0 +1,165 @@
+// Calendar wheel of scheduled pipeline events.
+//
+// The core's completion events (functional-unit done, load fill, L2-miss
+// detection, replay, speculative-wakeup maturation) were previously held in
+// a std::priority_queue: every push/pop paid a heap reshuffle plus the
+// backing vector's growth, and finding "when is the next event" meant
+// nothing cheaper than popping. This wheel keeps one pre-sized FIFO slot per
+// cycle in a power-of-two horizon: scheduling is an O(1) append, draining a
+// cycle is an O(events) sweep of one slot, and next_after() — what the
+// idle-cycle fast-forward needs — is a scan that costs exactly the distance
+// skipped. Slot vectors keep their capacity across reuse, so steady state
+// allocates nothing.
+//
+// Processing order is identical to the old priority queue: ascending cycle,
+// FIFO (schedule order) within a cycle. Events beyond the horizon —
+// impossible with the current memory latencies but kept correct anyway —
+// overflow to a side vector and migrate into their slot when the cursor
+// draws within a horizon of them; migration runs before any direct push or
+// drain that could observe the slot, preserving the global FIFO tie-break.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pipeline/dyn_inst.hpp"
+
+namespace tlrob {
+
+enum class EvKind : u8 {
+  kFuComplete,
+  kLoadFill,
+  kL2MissDetect,
+  kLoadReplay,
+  /// No-op marker: a register was made speculatively ready at this cycle
+  /// (RenameUnit::set_spec_ready). Nothing is dispatched on it — it exists
+  /// so the fast-forward's "next interesting cycle" computation sees the
+  /// wakeup and never skips past the cycle where a dependent could issue.
+  kWake,
+};
+
+struct SimEvent {
+  Cycle when = 0;
+  u64 order = 0;  // global schedule order; FIFO tie-break within a cycle
+  EvKind kind = EvKind::kFuComplete;
+  InstRef ref;
+};
+
+class EventWheel {
+ public:
+  explicit EventWheel(u32 horizon_log2 = 12)
+      : slots_(1u << horizon_log2), mask_((1u << horizon_log2) - 1) {}
+
+  u32 horizon() const { return static_cast<u32>(slots_.size()); }
+  u64 pending() const { return pending_; }
+  u64 scheduled_total() const { return scheduled_; }
+  u64 processed_total() const { return processed_; }
+  /// First cycle the wheel has fully drained through (all events at cycles
+  /// below this have been handed out).
+  Cycle drained_until() const { return cursor_; }
+
+  void schedule(Cycle when, EvKind kind, const InstRef& ref) {
+    // An event scheduled for the current (already-drained) cycle fires at
+    // the next process_due, exactly as it did leaving the priority queue.
+    if (when < cursor_) when = cursor_;
+    const SimEvent ev{when, order_++, kind, ref};
+    if (when - cursor_ < horizon()) {
+      // Any overflow event that has drifted within the horizon is older
+      // than this one and must land in its slot first, or the FIFO
+      // tie-break within its cycle would invert.
+      if (!overflow_.empty()) migrate_overflow();
+      slots_[when & mask_].push_back(ev);
+    } else {
+      overflow_.push_back(ev);
+    }
+    ++pending_;
+    ++scheduled_;
+  }
+
+  /// Drains every event with when <= now, ascending cycle then schedule
+  /// order, invoking handler(const SimEvent&). The handler may schedule new
+  /// events (they land at cycles > now).
+  template <typename Handler>
+  void process_due(Cycle now, Handler&& handler) {
+    if (!overflow_.empty()) migrate_overflow();
+    for (; cursor_ <= now; ++cursor_) {
+      std::vector<SimEvent>& slot = slots_[cursor_ & mask_];
+      if (slot.empty()) continue;
+      for (u32 i = 0; i < slot.size(); ++i) {  // index loop: handler may push
+        const SimEvent ev = slot[i];  // by value: a same-cycle push may grow
+                                      // (and reallocate) this very slot
+        ++processed_;
+        --pending_;
+        handler(ev);
+      }
+      slot.clear();  // keeps capacity: steady state never reallocates
+    }
+  }
+
+  /// Next cycle >= drained_until() holding an event, or `none` if the wheel
+  /// is empty. Cost is proportional to the distance to that event — the
+  /// same cycles a fast-forward caller is about to skip.
+  Cycle next_event_or(Cycle none) const {
+    if (pending_ == 0) return none;
+    Cycle best = none;
+    for (Cycle c = cursor_; c < cursor_ + horizon(); ++c) {
+      if (!slots_[c & mask_].empty()) {
+        best = c;
+        break;
+      }
+    }
+    // A not-yet-migrated overflow event can have drifted inside the horizon
+    // since it was scheduled; it may precede the first occupied slot.
+    for (const SimEvent& ev : overflow_) best = std::min(best, ev.when);
+    return best;
+  }
+
+  /// Test-only corruption hook for the invariant-audit suite: skews the
+  /// pending counter without touching the slots, simulating a dropped or
+  /// duplicated event. Never called by the simulator.
+  void test_only_corrupt_pending(i64 delta) {
+    pending_ = static_cast<u64>(static_cast<i64>(pending_) + delta);
+  }
+
+  /// Audit recount: the pending counter must equal the events actually
+  /// sitting in slots + overflow, and the schedule/process totals must
+  /// account for every event exactly once (no drop, no duplicate).
+  bool audit_consistent() const {
+    u64 live = overflow_.size();
+    for (const auto& slot : slots_) live += slot.size();
+    return live == pending_ && scheduled_ == processed_ + pending_;
+  }
+
+ private:
+  void migrate_overflow() {
+    // Called at the top of process_due, before any of this tick's direct
+    // pushes: migrated events therefore precede any same-cycle push made
+    // later this tick, and sorting by schedule order restores FIFO among
+    // themselves.
+    std::vector<SimEvent> still_far;
+    std::vector<SimEvent> ready;
+    for (SimEvent& ev : overflow_) {
+      if (ev.when - cursor_ < horizon())
+        ready.push_back(ev);
+      else
+        still_far.push_back(ev);
+    }
+    if (ready.empty()) return;
+    std::sort(ready.begin(), ready.end(),
+              [](const SimEvent& a, const SimEvent& b) { return a.order < b.order; });
+    for (SimEvent& ev : ready) slots_[ev.when & mask_].push_back(ev);
+    overflow_ = std::move(still_far);
+  }
+
+  std::vector<std::vector<SimEvent>> slots_;
+  std::vector<SimEvent> overflow_;
+  u32 mask_;
+  Cycle cursor_ = 0;  // all cycles < cursor_ are drained
+  u64 order_ = 0;
+  u64 pending_ = 0;
+  u64 scheduled_ = 0;
+  u64 processed_ = 0;
+};
+
+}  // namespace tlrob

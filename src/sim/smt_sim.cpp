@@ -27,9 +27,14 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
 
   fetch_policy_ = FetchPolicy::create(cfg.fetch_policy, &dcra_);
 
+  // The ROB ring slabs are sized for the largest window any scheme can ever
+  // grant this configuration: the shared second level, or kAdaptive's
+  // per-thread growth bound.
+  const u32 rob_max_extra = std::max(cfg.rob_second_level, cfg.rob.adaptive_max_extra);
   threads_.reserve(cfg.num_threads);
   for (ThreadId t = 0; t < cfg.num_threads; ++t) {
-    threads_.emplace_back(cfg.rob_first_level, cfg.lsq_entries);
+    threads_.emplace_back(cfg.rob_first_level, rob_max_extra, cfg.lsq_entries,
+                          cfg.frontend_buffer);
     ThreadState& ts = threads_.back();
     const Addr base = static_cast<Addr>(t + 1) << 36;
     ts.ctx = std::make_unique<ThreadContext>(benchmarks_[t], base,
@@ -42,6 +47,38 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
   std::vector<ReorderBuffer*> robs;
   for (auto& ts : threads_) robs.push_back(&ts.rob);
   rob_ctrl_ = std::make_unique<TwoLevelRobController>(cfg.rob, std::move(robs), second_);
+
+  views_.resize(cfg.num_threads);
+  order_.reserve(cfg.num_threads);
+  ready_scratch_.reserve(cfg.iq_entries);
+  replay_regs_.reserve(64);
+  replay_victims_.reserve(cfg.iq_entries);
+
+  cnt_events_dropped_ = &stats_.counter("events.dropped");
+  cnt_exec_completed_ = &stats_.counter("exec.completed");
+  cnt_issue_insts_ = &stats_.counter("issue.insts");
+  cnt_issue_replays_ = &stats_.counter("issue.replays");
+  cnt_commit_insts_ = &stats_.counter("commit.insts");
+  cnt_commit_wp_bug_ = &stats_.counter("commit.wrong_path_bug");
+  cnt_dispatch_insts_ = &stats_.counter("dispatch.insts");
+  cnt_stall_rob_ = &stats_.counter("dispatch.stall_rob");
+  cnt_stall_iq_ = &stats_.counter("dispatch.stall_iq");
+  cnt_stall_lsq_ = &stats_.counter("dispatch.stall_lsq");
+  cnt_stall_regs_ = &stats_.counter("dispatch.stall_regs");
+  cnt_stall_reg_reserve_ = &stats_.counter("dispatch.stall_reg_reserve");
+  cnt_stall_dcra_ = &stats_.counter("dispatch.stall_dcra");
+  cnt_fetch_insts_ = &stats_.counter("fetch.insts");
+  cnt_fetch_wrong_path_ = &stats_.counter("fetch.wrong_path");
+  cnt_fetch_icache_stalls_ = &stats_.counter("fetch.icache_stalls");
+  cnt_fetch_policy_gated_ = &stats_.counter("fetch.policy_gated");
+  cnt_squash_insts_ = &stats_.counter("squash.insts");
+  cnt_lsq_forwards_ = &stats_.counter("lsq.forwards");
+  cnt_loads_l1_miss_ = &stats_.counter("loads.l1_miss");
+  cnt_loads_l1_miss_wp_ = &stats_.counter("loads.l1_miss_wp");
+  cnt_loads_spec_wakeups_ = &stats_.counter("loads.spec_wakeups");
+  cnt_loads_l2_miss_ = &stats_.counter("loads.l2_miss");
+  cnt_loads_l2_miss_wp_ = &stats_.counter("loads.l2_miss_wp");
+  cnt_loads_l2_miss_fills_ = &stats_.counter("loads.l2_miss_fills");
 
   // The audit view is built once: every pointer below is stable for the
   // core's lifetime (threads_ never resizes after construction). Only the
@@ -57,6 +94,7 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
   audit_ctx_.rename = &rename_;
   audit_ctx_.second = &second_;
   audit_ctx_.ctrl = rob_ctrl_.get();
+  audit_ctx_.wheel = &wheel_;
   audit_ctx_.outstanding_l1.assign(cfg_.num_threads, 0);
   audit_ctx_.outstanding_l2.assign(cfg_.num_threads, 0);
   audit_ctx_.last_committed = &auditor_.last_committed();
@@ -90,7 +128,7 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
 // ---------------------------------------------------------------------------
 
 void SmtCore::schedule(Cycle when, EvKind kind, const DynInst& di) {
-  events_.push(Event{when, event_order_++, kind, InstRef{di.tid, di.tseq, di.replay_gen}});
+  wheel_.schedule(when, kind, InstRef{di.tid, di.tseq, di.replay_gen});
 }
 
 DynInst* SmtCore::find_inst(const InstRef& ref) {
@@ -99,22 +137,25 @@ DynInst* SmtCore::find_inst(const InstRef& ref) {
   return d;
 }
 
-void SmtCore::process_events() {
-  while (!events_.empty() && events_.top().when <= cycle_) {
-    const Event ev = events_.top();
-    events_.pop();
+bool SmtCore::process_events() {
+  const u64 before = wheel_.processed_total();
+  wheel_.process_due(cycle_, [&](const SimEvent& ev) {
+    if (ev.kind == EvKind::kWake) return;  // wake marker: exists only so the
+                                           // fast-forward sees this cycle
     DynInst* di = find_inst(ev.ref);
     if (di == nullptr) {
-      stats_.counter("events.dropped").inc();
-      continue;
+      cnt_events_dropped_->inc();
+      return;
     }
     switch (ev.kind) {
       case EvKind::kFuComplete: handle_fu_complete(*di); break;
       case EvKind::kLoadFill: handle_load_fill(*di); break;
       case EvKind::kL2MissDetect: handle_l2_miss_detect(*di); break;
       case EvKind::kLoadReplay: handle_load_replay(*di); break;
+      case EvKind::kWake: break;  // handled above
     }
-  }
+  });
+  return wheel_.processed_total() != before;
 }
 
 void SmtCore::handle_fu_complete(DynInst& di) { finish_execution(di); }
@@ -125,7 +166,7 @@ void SmtCore::handle_load_fill(DynInst& di) {
     ReorderBuffer& rob = threads_[di.tid].rob;
     dod_true_.record(rob.count_true_dependents(di));
     dod_proxy_.record(rob.count_unexecuted_younger(di.tseq, 0xffffffffu));
-    stats_.counter("loads.l2_miss_fills").inc();
+    cnt_loads_l2_miss_fills_->inc();
   }
   if (!di.wrong_path) rob_ctrl_->on_load_fill(di, cycle_);
   drop_outstanding_counts(di);
@@ -163,25 +204,36 @@ void SmtCore::handle_load_replay(DynInst& di) {
 }
 
 void SmtCore::replay_dependents_of(PhysReg reg) {
-  std::vector<DynInst*> victims = iq_.collect([&](DynInst& e) {
-    return e.issued && !e.executed &&
-           ((e.spec_used[0] && e.src_phys[0] == reg) ||
-            (e.spec_used[1] && e.src_phys[1] == reg));
-  });
-  for (DynInst* e : victims) {
-    e->issued = false;
-    ++e->replay_gen;  // poison in-flight completion events
-    e->spec_used[0] = e->spec_used[1] = false;
-    drop_outstanding_counts(*e);
-    if (e->is_load()) {
-      e->is_l2_miss = false;
-      e->l1_hit = false;
-      e->addr_resolved = false;
-    }
-    stats_.counter("issue.replays").inc();
-    if (e->dest_phys != kInvalidPhysReg && rename_.is_spec(e->dest_phys)) {
-      rename_.clear_spec(e->dest_phys);
-      replay_dependents_of(e->dest_phys);  // chained speculation
+  // Iterative worklist form of the chained-speculation walk. The visited set
+  // is identical to the recursive version's: a victim's spec_used flags are
+  // cleared when it is processed (so it can never match again), and a
+  // register enters the worklist only once, right after its spec bit is
+  // cleared.
+  replay_regs_.clear();
+  replay_regs_.push_back(reg);
+  while (!replay_regs_.empty()) {
+    const PhysReg r = replay_regs_.back();
+    replay_regs_.pop_back();
+    iq_.collect_into(replay_victims_, [&](DynInst& e) {
+      return e.issued && !e.executed &&
+             ((e.spec_used[0] && e.src_phys[0] == r) ||
+              (e.spec_used[1] && e.src_phys[1] == r));
+    });
+    for (DynInst* e : replay_victims_) {
+      e->issued = false;
+      ++e->replay_gen;  // poison in-flight completion events
+      e->spec_used[0] = e->spec_used[1] = false;
+      drop_outstanding_counts(*e);
+      if (e->is_load()) {
+        e->is_l2_miss = false;
+        e->l1_hit = false;
+        e->addr_resolved = false;
+      }
+      cnt_issue_replays_->inc();
+      if (e->dest_phys != kInvalidPhysReg && rename_.is_spec(e->dest_phys)) {
+        rename_.clear_spec(e->dest_phys);
+        replay_regs_.push_back(e->dest_phys);  // chained speculation
+      }
     }
   }
 }
@@ -206,7 +258,7 @@ void SmtCore::finish_execution(DynInst& di) {
   if (di.in_iq) iq_.remove(&di);  // speculatively issued entries release here
   rename_.consumers_read(di);
   tracer_.event(cycle_, "complete", di);
-  stats_.counter("exec.completed").inc();
+  cnt_exec_completed_->inc();
   if (di.is_ctrl() && !di.branch_resolved) {
     di.branch_resolved = true;
     ThreadState& ts = threads_[di.tid];
@@ -241,7 +293,7 @@ void SmtCore::squash_after(ThreadId tid, u64 tseq) {
     ++d.replay_gen;
     rename_.squash_undo(d);
     tracer_.event(cycle_, "squash  ", d);
-    stats_.counter("squash.insts").inc();
+    cnt_squash_insts_->inc();
   });
   rob_ctrl_->on_squash(tid, tseq);
 }
@@ -252,7 +304,6 @@ void SmtCore::undispatch_after(ThreadId tid, u64 tseq) {
   // back to the front of the dispatch queue instead of being re-fetched
   // (equivalent shared-resource behaviour; see DESIGN.md).
   ThreadState& ts = threads_[tid];
-  std::vector<DynInst> popped;
   ts.lsq.squash_after(tseq);  // before the ROB pops the entries it points at
   ts.rob.squash_after(tseq, [&](DynInst& d) {
     if (d.in_iq) iq_.remove(&d);
@@ -277,10 +328,14 @@ void SmtCore::undispatch_after(ThreadId tid, u64 tseq) {
     d.dest_phys = kInvalidPhysReg;
     d.prev_dest_phys = kInvalidPhysReg;
     d.iq_slot = -1;
-    popped.push_back(std::move(d));
+    // The ROB pops youngest-first; pushing each straight onto the frontend's
+    // front leaves them oldest-first ahead of the (younger) fetched entries —
+    // the same order the old two-pass copy produced, without the scratch
+    // vector. The frontend ring is sized for the whole window, so this
+    // cannot overflow.
+    ts.frontend.push_front(std::move(d));
     stats_.counter("flush.undispatched").inc();
   });
-  for (auto& d : popped) ts.frontend.push_front(std::move(d));  // youngest first
   rob_ctrl_->on_squash(tid, tseq);
 }
 
@@ -288,8 +343,9 @@ void SmtCore::undispatch_after(ThreadId tid, u64 tseq) {
 // Commit
 // ---------------------------------------------------------------------------
 
-void SmtCore::do_commit() {
+bool SmtCore::do_commit() {
   u32 budget = cfg_.commit_width;
+  u32 pops = 0;
   const u32 n = cfg_.num_threads;
   for (u32 i = 0; i < n && budget > 0; ++i) {
     const ThreadId t = static_cast<ThreadId>((commit_rr_ + i) % n);
@@ -306,7 +362,7 @@ void SmtCore::do_commit() {
       if (h->wrong_path) {
         // Should be unreachable: the mispredicted branch squashes before
         // committing. Counted rather than asserted so long runs surface it.
-        stats_.counter("commit.wrong_path_bug").inc();
+        cnt_commit_wp_bug_->inc();
       }
       if (h->is_store() && !h->wrong_path) mem_.access_data(h->mem_addr, true, cycle_);
       if (h->is_mem() && h->lsq_allocated) ts.lsq.pop(h);
@@ -316,21 +372,23 @@ void SmtCore::do_commit() {
       tracer_.event(cycle_, "commit  ", *h);
       if (!h->wrong_path) {
         ++ts.committed;
-        stats_.counter("commit.insts").inc();
+        cnt_commit_insts_->inc();
       }
       ts.rob.pop_head();
       --budget;
+      ++pops;
     }
   }
   ++commit_rr_;
+  return pops > 0;
 }
 
 // ---------------------------------------------------------------------------
 // Issue
 // ---------------------------------------------------------------------------
 
-void SmtCore::do_issue() {
-  std::vector<DynInst*> ready = iq_.collect([&](DynInst& d) {
+bool SmtCore::do_issue() {
+  iq_.collect_into(ready_scratch_, [&](DynInst& d) {
     if (d.issued) return false;
     // Stores issue for address generation as soon as the address dependence
     // (src[1]) is ready; the data (src[0]) is only needed at commit
@@ -342,14 +400,24 @@ void SmtCore::do_issue() {
         return false;
     return true;
   });
-  std::sort(ready.begin(), ready.end(),
+  std::sort(ready_scratch_.begin(), ready_scratch_.end(),
             [](const DynInst* a, const DynInst* b) { return a->seq < b->seq; });
 
   u32 issued = 0;
-  for (DynInst* d : ready) {
+  bool fu_blocked = false;
+  for (DynInst* d : ready_scratch_) {
     if (issued >= cfg_.issue_width) break;
-    if (issue_one(*d)) ++issued;
+    if (issue_one(*d)) {
+      ++issued;
+    } else if (!fus_.can_issue(d->op, cycle_)) {
+      // Blocked on a busy functional unit: a time-gated condition the
+      // fast-forward cannot see through, so the cycle counts as active. A
+      // load parked on unresolved older stores, by contrast, is purely
+      // state-gated and quiescent.
+      fu_blocked = true;
+    }
   }
+  return issued > 0 || fu_blocked;
 }
 
 bool SmtCore::issue_one(DynInst& di) {
@@ -367,7 +435,7 @@ bool SmtCore::issue_one(DynInst& di) {
   di.issued = true;
   di.issue_cycle = cycle_;
   tracer_.event(cycle_, "issue   ", di, any_spec ? "spec" : "");
-  stats_.counter("issue.insts").inc();
+  cnt_issue_insts_->inc();
 
   if (di.is_load()) {
     fus_.issue(di.op, cycle_);
@@ -404,7 +472,7 @@ void SmtCore::issue_load(DynInst& di) {
       di.l1_hit = true;
       lhp_.update(di.tid, di.pc, true);
       schedule(data_at, EvKind::kLoadFill, di);
-      stats_.counter("lsq.forwards").inc();
+      cnt_lsq_forwards_->inc();
       return;
     }
   }
@@ -420,7 +488,7 @@ void SmtCore::issue_load(DynInst& di) {
     return;
   }
 
-  stats_.counter(di.wrong_path ? "loads.l1_miss_wp" : "loads.l1_miss").inc();
+  (di.wrong_path ? cnt_loads_l1_miss_wp_ : cnt_loads_l1_miss_)->inc();
   if (!di.l1_counted) {
     ++ts.outstanding_l1;
     di.l1_counted = true;
@@ -429,15 +497,18 @@ void SmtCore::issue_load(DynInst& di) {
     // Speculative wakeup at hit latency; the mis-speculation is discovered
     // one cycle later and replays any dependent that got away.
     rename_.set_spec_ready(di.dest_phys, cycle_ + 2);
+    // The wake marker keeps the maturation cycle visible to the
+    // fast-forward: a dependent may issue the moment spec_at arrives.
+    schedule(cycle_ + 2, EvKind::kWake, di);
     schedule(cycle_ + 3, EvKind::kLoadReplay, di);
-    stats_.counter("loads.spec_wakeups").inc();
+    cnt_loads_spec_wakeups_->inc();
   }
   if (da.l2_miss) {
     di.is_l2_miss = true;
     di.l2_miss_detect_cycle = da.l2_miss_detect;
     di.fill_cycle = data_cycle;
     schedule(da.l2_miss_detect, EvKind::kL2MissDetect, di);
-    stats_.counter(di.wrong_path ? "loads.l2_miss_wp" : "loads.l2_miss").inc();
+    (di.wrong_path ? cnt_loads_l2_miss_wp_ : cnt_loads_l2_miss_)->inc();
   }
   schedule(data_cycle, EvKind::kLoadFill, di);
 }
@@ -446,16 +517,14 @@ void SmtCore::issue_load(DynInst& di) {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-std::vector<ThreadFetchView> SmtCore::make_views() const {
-  std::vector<ThreadFetchView> views(cfg_.num_threads);
+void SmtCore::refresh_views() {
   for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
-    views[t].frontend_count = static_cast<u32>(threads_[t].frontend.size());
-    views[t].iq_count = iq_.occupancy(t);
-    views[t].outstanding_l1 = threads_[t].outstanding_l1;
-    views[t].outstanding_l2 = threads_[t].outstanding_l2;
-    views[t].active = true;
+    views_[t].frontend_count = threads_[t].frontend.size();
+    views_[t].iq_count = iq_.occupancy(t);
+    views_[t].outstanding_l1 = threads_[t].outstanding_l1;
+    views_[t].outstanding_l2 = threads_[t].outstanding_l2;
+    views_[t].active = true;
   }
-  return views;
 }
 
 bool SmtCore::try_dispatch_one(ThreadState& ts, ThreadId tid) {
@@ -463,19 +532,19 @@ bool SmtCore::try_dispatch_one(ThreadState& ts, ThreadId tid) {
   DynInst& f = ts.frontend.front();
   if (f.fetch_cycle + cfg_.decode_depth > cycle_) return false;
   if (ts.rob.full()) {
-    stats_.counter("dispatch.stall_rob").inc();
+    cnt_stall_rob_->inc();
     return false;
   }
   if (!iq_.has_free()) {
-    stats_.counter("dispatch.stall_iq").inc();
+    cnt_stall_iq_->inc();
     return false;
   }
   if (f.is_mem() && !ts.lsq.has_free()) {
-    stats_.counter("dispatch.stall_lsq").inc();
+    cnt_stall_lsq_->inc();
     return false;
   }
   if (!rename_.can_rename(tid, *f.si)) {
-    stats_.counter("dispatch.stall_regs").inc();
+    cnt_stall_regs_->inc();
     return false;
   }
   if (ts.rob.extra() > 0 && ts.rob.size() >= ts.rob.base_capacity() && f.si->has_dest() &&
@@ -485,7 +554,7 @@ bool SmtCore::try_dispatch_one(ThreadState& ts, ThreadId tid) {
     const bool fp = is_fp_reg(f.si->dest);
     const u32 free = fp ? rename_.free_fp(tid) : rename_.free_int(tid);
     if (free <= cfg_.second_level_reg_reserve) {
-      stats_.counter("dispatch.stall_reg_reserve").inc();
+      cnt_stall_reg_reserve_->inc();
       return false;
     }
   }
@@ -496,7 +565,7 @@ bool SmtCore::try_dispatch_one(ThreadState& ts, ThreadId tid) {
     if (!dcra_.within_caps(tid, iq_.occupancy(tid), iq_.capacity(), rename_.int_in_use(tid),
                            rename_.int_rename_pool(), rename_.fp_in_use(tid),
                            rename_.fp_rename_pool())) {
-      stats_.counter("dispatch.stall_dcra").inc();
+      cnt_stall_dcra_->inc();
       return false;
     }
   }
@@ -511,22 +580,27 @@ bool SmtCore::try_dispatch_one(ThreadState& ts, ThreadId tid) {
   if (slot.is_mem()) ts.lsq.push(&slot);
   if (slot.is_ctrl()) ++ts.unresolved_ctrl;
   tracer_.event(cycle_, "dispatch", slot);
-  stats_.counter("dispatch.insts").inc();
+  cnt_dispatch_insts_->inc();
   return true;
 }
 
-void SmtCore::do_dispatch() {
-  const auto views = make_views();
-  dcra_.classify(views);
+bool SmtCore::do_dispatch() {
+  refresh_views();
+  dcra_.classify(views_);
   dcra_.set_privileged(second_.owner() == SecondLevelRob::kNoOwner
                            ? DcraController::kNoPrivileged
                            : second_.owner());
-  const auto order = fetch_policy_->order(views, cycle_);
+  fetch_policy_->order(views_, cycle_, order_);
   u32 budget = cfg_.dispatch_width;
-  for (ThreadId t : order) {
+  u32 dispatched = 0;
+  for (ThreadId t : order_) {
     ThreadState& ts = threads_[t];
-    while (budget > 0 && try_dispatch_one(ts, t)) --budget;
+    while (budget > 0 && try_dispatch_one(ts, t)) {
+      --budget;
+      ++dispatched;
+    }
   }
+  return dispatched > 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -633,31 +707,32 @@ bool SmtCore::fetch_one(ThreadState& ts, ThreadId tid) {
   di.fetch_cycle = std::max(cycle_, iready);
   if (iready > cycle_) {
     ts.fetch_stall_until = iready;
-    stats_.counter("fetch.icache_stalls").inc();
+    cnt_fetch_icache_stalls_->inc();
   }
 
   di.seq = next_seq_++;
   di.tseq = ts.next_tseq++;
   tracer_.event(cycle_, "fetch   ", di);
   ts.frontend.push_back(std::move(di));
-  stats_.counter(ts.frontend.back().wrong_path ? "fetch.wrong_path" : "fetch.insts").inc();
+  (ts.frontend.back().wrong_path ? cnt_fetch_wrong_path_ : cnt_fetch_insts_)->inc();
   return true;
 }
 
-void SmtCore::do_fetch() {
-  const auto views = make_views();
-  const auto order = fetch_policy_->order(views, cycle_);
+bool SmtCore::do_fetch() {
+  refresh_views();
+  fetch_policy_->order(views_, cycle_, order_);
 
   u32 budget = cfg_.fetch_width;
   u32 threads_fetched = 0;
-  for (ThreadId t : order) {
+  u32 fetched = 0;
+  for (ThreadId t : order_) {
     if (budget == 0 || threads_fetched >= cfg_.fetch_threads) break;
     ThreadState& ts = threads_[t];
     if (ts.fetch_stall_until > cycle_) continue;
     if (ts.wrong_path && ts.wp_dead) continue;
     if (ts.frontend.size() >= cfg_.frontend_buffer) continue;
-    if (!fetch_policy_->may_fetch(t, views)) {
-      stats_.counter("fetch.policy_gated").inc();
+    if (!fetch_policy_->may_fetch(t, views_)) {
+      cnt_fetch_policy_gated_->inc();
       continue;
     }
 
@@ -666,6 +741,7 @@ void SmtCore::do_fetch() {
       if (!fetch_one(ts, t)) break;
       fetched_any = true;
       --budget;
+      ++fetched;
       const DynInst& last = ts.frontend.back();
       if (last.is_ctrl() && last.pred.taken) break;  // redirect: resume next cycle
       if (ts.wrong_path && ts.wp_dead) break;
@@ -673,18 +749,20 @@ void SmtCore::do_fetch() {
     }
     if (fetched_any) ++threads_fetched;
   }
+  return fetched > 0;
 }
 
 // ---------------------------------------------------------------------------
 // Top level
 // ---------------------------------------------------------------------------
 
-void SmtCore::do_early_release() {
+bool SmtCore::do_early_release() {
   // Sharkey & Ponomarev [24]: while a thread waits on an L2 miss and has no
   // unresolved control flow in its window (so nothing can be squashed), any
   // previous mapping whose value exists and has been read by every renamed
   // consumer is dead — the redefining instruction will commit — and can be
   // released before that commit.
+  u32 released = 0;
   for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
     ThreadState& ts = threads_[t];
     if (ts.outstanding_l2 == 0 || ts.unresolved_ctrl > 0) continue;
@@ -695,18 +773,21 @@ void SmtCore::do_early_release() {
       if (!rename_.is_value_ready(d.prev_dest_phys)) return;
       rename_.early_free_prev(d);
       stats_.counter("rename.early_released").inc();
+      ++released;
     });
   }
+  return released > 0;
 }
 
-void SmtCore::tick() {
-  process_events();
-  do_commit();
-  do_issue();
-  do_dispatch();
-  do_fetch();
-  if (cfg_.early_register_release) do_early_release();
-  rob_ctrl_->tick(cycle_);
+bool SmtCore::tick_once() {
+  bool active = false;
+  if (process_events()) active = true;
+  if (do_commit()) active = true;
+  if (do_issue()) active = true;
+  if (do_dispatch()) active = true;
+  if (do_fetch()) active = true;
+  if (cfg_.early_register_release && do_early_release()) active = true;
+  if (rob_ctrl_->tick(cycle_)) active = true;
   // Audit after the policy tick: maybe_release has run, so a granted window
   // whose justifying load completed this cycle has been revoked and any
   // surviving grant must be trigger-backed (see second_level_check.cpp).
@@ -715,6 +796,65 @@ void SmtCore::tick() {
     auditor_.run_cycle(audit_ctx_);
   }
   ++cycle_;
+  return active;
+}
+
+void SmtCore::tick() { tick_once(); }
+
+void SmtCore::step(Cycle limit) {
+  // The fast-forward needs every cycle to be invisible to observers: the
+  // auditor samples fixed cycle intervals and the tracer logs a window, so
+  // either being attached pins the core to cycle-by-cycle execution.
+  if (auditor_.enabled() || tracer_.attached()) {
+    tick_once();
+    return;
+  }
+
+  const u64 s_rob = cnt_stall_rob_->value();
+  const u64 s_iq = cnt_stall_iq_->value();
+  const u64 s_lsq = cnt_stall_lsq_->value();
+  const u64 s_regs = cnt_stall_regs_->value();
+  const u64 s_reserve = cnt_stall_reg_reserve_->value();
+  const u64 s_dcra = cnt_stall_dcra_->value();
+  const u64 s_gated = cnt_fetch_policy_gated_->value();
+
+  if (tick_once()) return;
+
+  // The tick just executed (at cycle_ - 1) was provably a no-op: no event
+  // fired, nothing committed / issued / dispatched / fetched / released, and
+  // the ROB controller made no state change. Every condition that could end
+  // the quiet spell is time-gated and enumerable:
+  //   - the next scheduled event (fills, completions, wake markers),
+  //   - a frontend head reaching decode maturity,
+  //   - a fetch stall (I-cache miss / post-squash redirect) expiring,
+  //   - the controller's next due re-check or phase boundary.
+  // Until the earliest of those, every tick repeats this one exactly — same
+  // stalls, same counters, no state change — so jump straight there and
+  // replay this tick's per-cycle stall increments for the distance.
+  const Cycle now = cycle_ - 1;
+  Cycle wake = limit;
+  wake = std::min(wake, wheel_.next_event_or(kNeverCycle));
+  wake = std::min(wake, rob_ctrl_->next_wake(now));
+  for (const ThreadState& ts : threads_) {
+    if (!ts.frontend.empty()) {
+      const Cycle mature = ts.frontend.front().fetch_cycle + cfg_.decode_depth;
+      if (mature > now) wake = std::min(wake, mature);
+    }
+    if (ts.fetch_stall_until > now) wake = std::min(wake, ts.fetch_stall_until);
+  }
+  if (wake <= cycle_) return;
+
+  const u64 skipped = wake - cycle_;
+  cnt_stall_rob_->inc((cnt_stall_rob_->value() - s_rob) * skipped);
+  cnt_stall_iq_->inc((cnt_stall_iq_->value() - s_iq) * skipped);
+  cnt_stall_lsq_->inc((cnt_stall_lsq_->value() - s_lsq) * skipped);
+  cnt_stall_regs_->inc((cnt_stall_regs_->value() - s_regs) * skipped);
+  cnt_stall_reg_reserve_->inc((cnt_stall_reg_reserve_->value() - s_reserve) * skipped);
+  cnt_stall_dcra_->inc((cnt_stall_dcra_->value() - s_dcra) * skipped);
+  cnt_fetch_policy_gated_->inc((cnt_fetch_policy_gated_->value() - s_gated) * skipped);
+  commit_rr_ += skipped;  // do_commit advances the rotation every cycle
+  fast_forwarded_ += skipped;
+  cycle_ = wake;
 }
 
 void SmtCore::refresh_audit_ctx() {
@@ -756,10 +896,10 @@ RunResult SmtCore::run(u64 commit_target, u64 max_cycles, u64 warmup_insts) {
   };
 
   if (warmup_insts > 0) {
-    while (cycle_ < max_cycles && fastest_measured() < warmup_insts) tick();
+    while (cycle_ < max_cycles && fastest_measured() < warmup_insts) step(max_cycles);
     reset_measurement();
   }
-  while (cycle_ < max_cycles && fastest_measured() < commit_target) tick();
+  while (cycle_ < max_cycles && fastest_measured() < commit_target) step(max_cycles);
   return snapshot_result();
 }
 
@@ -795,6 +935,7 @@ RunResult SmtCore::snapshot_result() const {
   merge("audit.", const_cast<InvariantChecker&>(auditor_).stats());
   r.counters["rob2.allocations"] = second_.total_allocations();
   r.counters["rob2.busy_cycles"] = second_.busy_cycles(cycle_);
+  r.counters["core.fast_forwarded_cycles"] = fast_forwarded_;
   return r;
 }
 

@@ -11,16 +11,26 @@
 // Stage evaluation order within a tick: events (completions / fills / miss
 // detections, which include branch resolution and squash) -> commit -> issue
 // -> dispatch -> fetch -> ROB-policy tick.
+//
+// Hot-path design (DESIGN.md §8): completion events live in a calendar wheel
+// (EventWheel) instead of a priority queue; every per-cycle scratch
+// collection is a reused member buffer; the DynInst windows are fixed ring
+// slabs; and run() fast-forwards runs of provably idle cycles — every stage
+// reports whether it changed state, and when none did, the core jumps
+// straight to the next cycle at which anything *can* happen (next scheduled
+// event, next frontend-head maturity, next fetch-stall expiry, next
+// controller re-check), replaying the per-cycle stall counters for the
+// skipped distance. Statistics are bit-identical to the cycle-by-cycle
+// execution; tests/golden pins that.
 #pragma once
 
-#include <deque>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "branch/load_hit_predictor.hpp"
 #include "branch/predictor.hpp"
+#include "common/ring_deque.hpp"
 #include "memory/memory_system.hpp"
 #include "pipeline/dcra.hpp"
 #include "pipeline/fetch_policy.hpp"
@@ -31,6 +41,7 @@
 #include "rob/allocation_policy.hpp"
 #include "rob/rob.hpp"
 #include "rob/two_level_rob.hpp"
+#include "sim/event_wheel.hpp"
 #include "sim/metrics.hpp"
 #include "sim/presets.hpp"
 #include "sim/trace.hpp"
@@ -56,7 +67,7 @@ class SmtCore {
   /// preserving microarchitectural state. Used at the warmup boundary.
   void reset_measurement();
 
-  /// Advances one cycle (exposed for tests).
+  /// Advances exactly one cycle (exposed for tests; never fast-forwards).
   void tick();
 
   Cycle now() const { return cycle_; }
@@ -73,6 +84,11 @@ class SmtCore {
   StatGroup& stats() { return stats_; }
   PipelineTracer& tracer() { return tracer_; }
   const MachineConfig& config() const { return cfg_; }
+  const EventWheel& event_wheel() const { return wheel_; }
+
+  /// Cycles run() skipped via idle fast-forward (diagnostics; counted in
+  /// cycle_ exactly as if they had been ticked).
+  u64 fast_forwarded_cycles() const { return fast_forwarded_; }
 
   /// The pipeline invariant auditor (cfg.audit decides what runs per cycle).
   InvariantChecker& auditor() { return auditor_; }
@@ -87,6 +103,7 @@ class SmtCore {
   ReorderBuffer& rob_for_test(ThreadId t) { return threads_[t].rob; }
   LoadStoreQueue& lsq_for_test(ThreadId t) { return threads_[t].lsq; }
   IssueQueue& iq_for_test() { return iq_; }
+  EventWheel& wheel_for_test() { return wheel_; }
 
   /// Builds the RunResult for the current state (run() calls this at exit).
   RunResult snapshot_result() const;
@@ -96,7 +113,9 @@ class SmtCore {
     std::unique_ptr<ThreadContext> ctx;
     ReorderBuffer rob;
     LoadStoreQueue lsq;
-    std::deque<DynInst> frontend;  // fetched, awaiting dispatch (oldest front)
+    /// Fetched, awaiting dispatch (oldest front). Sized for the fetch buffer
+    /// plus the whole ROB slab: FLUSH un-dispatch pushes a full window back.
+    RingDeque<DynInst> frontend;
     std::unordered_map<Addr, u32> block_of_pc;
 
     u64 next_tseq = 1;
@@ -115,32 +134,30 @@ class SmtCore {
     u32 outstanding_l2 = 0;
     u32 unresolved_ctrl = 0;  // dispatched control ops not yet resolved
 
-    ThreadState(u32 rob_cap, u32 lsq_cap) : rob(rob_cap), lsq(lsq_cap) {}
+    ThreadState(u32 rob_cap, u32 rob_max_extra, u32 lsq_cap, u32 frontend_cap)
+        : rob(rob_cap, rob_max_extra),
+          lsq(lsq_cap),
+          frontend(frontend_cap + rob_cap + rob_max_extra) {}
   };
 
-  enum class EvKind : u8 { kFuComplete, kLoadFill, kL2MissDetect, kLoadReplay };
-  struct Event {
-    Cycle when;
-    u64 order;  // FIFO tie-break for determinism
-    EvKind kind;
-    InstRef ref;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.when != b.when ? a.when > b.when : a.order > b.order;
-    }
-  };
+  // -- stages (each returns true iff it changed machine state this cycle) ----
+  bool process_events();
+  bool do_commit();
+  bool do_issue();
+  bool do_dispatch();
+  bool do_fetch();
+  bool do_early_release();
 
-  // -- stages ---------------------------------------------------------------
-  void process_events();
-  void do_commit();
-  void do_issue();
-  void do_dispatch();
-  void do_fetch();
-  void do_early_release();
+  /// One tick; returns true iff any stage (or the ROB controller) acted.
+  bool tick_once();
+  /// tick_once() plus, when the cycle was provably idle and neither the
+  /// auditor nor a tracer needs to see every cycle, a jump to the next cycle
+  /// anything can happen at (bounded by `limit`), with the per-cycle stall
+  /// statistics replayed for the skipped distance.
+  void step(Cycle limit);
 
   // -- helpers ----------------------------------------------------------------
-  std::vector<ThreadFetchView> make_views() const;
+  void refresh_views();
   DynInst* find_inst(const InstRef& ref);
   void schedule(Cycle when, EvKind kind, const DynInst& di);
   void handle_fu_complete(DynInst& di);
@@ -179,13 +196,21 @@ class SmtCore {
   SecondLevelRob second_;
   std::unique_ptr<TwoLevelRobController> rob_ctrl_;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  u64 event_order_ = 0;
+  EventWheel wheel_;
   Cycle cycle_ = 0;
   Cycle cycle_base_ = 0;  // cycle count at the last measurement reset
   SeqNum next_seq_ = 1;
   u64 commit_rr_ = 0;
+  u64 fast_forwarded_ = 0;
   Rng wp_rng_;
+
+  // Reused per-cycle scratch (capacity retained; steady state never
+  // allocates).
+  std::vector<ThreadFetchView> views_;
+  std::vector<ThreadId> order_;
+  std::vector<DynInst*> ready_scratch_;
+  std::vector<PhysReg> replay_regs_;     // worklist for replay_dependents_of
+  std::vector<DynInst*> replay_victims_;
 
   StatGroup stats_;
   PipelineTracer tracer_;
@@ -194,6 +219,37 @@ class SmtCore {
 
   InvariantChecker auditor_;
   AuditContext audit_ctx_;  // stable pointers into the members above
+
+  // Cached stat handles (StatGroup map nodes are address-stable and reset()
+  // zeroes in place, so these stay valid across reset_measurement()). The
+  // per-cycle map lookups were ~a quarter of the profile. Declared after
+  // stats_ (initialisation order). The stall counters are also what step()
+  // replays across fast-forwarded cycles.
+  Counter* cnt_events_dropped_;
+  Counter* cnt_exec_completed_;
+  Counter* cnt_issue_insts_;
+  Counter* cnt_issue_replays_;
+  Counter* cnt_commit_insts_;
+  Counter* cnt_commit_wp_bug_;
+  Counter* cnt_dispatch_insts_;
+  Counter* cnt_stall_rob_;
+  Counter* cnt_stall_iq_;
+  Counter* cnt_stall_lsq_;
+  Counter* cnt_stall_regs_;
+  Counter* cnt_stall_reg_reserve_;
+  Counter* cnt_stall_dcra_;
+  Counter* cnt_fetch_insts_;
+  Counter* cnt_fetch_wrong_path_;
+  Counter* cnt_fetch_icache_stalls_;
+  Counter* cnt_fetch_policy_gated_;
+  Counter* cnt_squash_insts_;
+  Counter* cnt_lsq_forwards_;
+  Counter* cnt_loads_l1_miss_;
+  Counter* cnt_loads_l1_miss_wp_;
+  Counter* cnt_loads_spec_wakeups_;
+  Counter* cnt_loads_l2_miss_;
+  Counter* cnt_loads_l2_miss_wp_;
+  Counter* cnt_loads_l2_miss_fills_;
 };
 
 }  // namespace tlrob

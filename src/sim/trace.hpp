@@ -26,6 +26,11 @@ class PipelineTracer {
 
   bool active(Cycle now) const { return os_ != nullptr && now >= start_ && now < end_; }
 
+  /// A stream is attached (regardless of the cycle window). The core's
+  /// idle-cycle fast-forward stays off while tracing so the log shows every
+  /// cycle, including the window's quiet ones.
+  bool attached() const { return os_ != nullptr; }
+
   /// One line per instruction event. `extra` is appended verbatim.
   void event(Cycle now, const char* stage, const DynInst& di, const char* extra = "") {
     if (!active(now)) return;

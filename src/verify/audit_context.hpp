@@ -27,6 +27,7 @@ class IssueQueue;
 class RenameUnit;
 class SecondLevelRob;
 class TwoLevelRobController;
+class EventWheel;
 enum class RobScheme : u8;
 
 /// How much auditing runs.
@@ -83,6 +84,7 @@ struct AuditContext {
   const RenameUnit* rename = nullptr;
   const SecondLevelRob* second = nullptr;
   const TwoLevelRobController* ctrl = nullptr;
+  const EventWheel* wheel = nullptr;
 
   /// Per-thread outstanding-miss counters as the core sees them (the checks
   /// recount the flags in the window against these).

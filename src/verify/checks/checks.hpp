@@ -43,4 +43,15 @@ std::unique_ptr<InvariantCheck> make_occupancy_check();
 /// in the window.
 std::unique_ptr<InvariantCheck> make_dod_recount_check();
 
+/// DynInst pool liveness (cheap): every pointer the issue queue and LSQs
+/// hold addresses a live slot of the owning thread's ROB ring slab — never
+/// recycled storage (the failure mode fixed slabs make possible and heap
+/// allocation hid behind allocator luck).
+std::unique_ptr<InvariantCheck> make_pool_check();
+
+/// Event-wheel conservation (full): the calendar wheel's pending counter
+/// equals a physical recount of its slots and the schedule/process totals
+/// account for every event exactly once (no dropped or duplicated wakeups).
+std::unique_ptr<InvariantCheck> make_event_wheel_check();
+
 }  // namespace tlrob

@@ -50,6 +50,8 @@ InvariantChecker::InvariantChecker(const AuditConfig& cfg, u32 num_threads)
   register_check(make_iq_counts_check());
   register_check(make_occupancy_check());
   register_check(make_dod_recount_check());
+  register_check(make_pool_check());
+  register_check(make_event_wheel_check());
 }
 
 void InvariantChecker::register_check(std::unique_ptr<InvariantCheck> check) {

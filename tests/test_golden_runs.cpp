@@ -1,0 +1,126 @@
+// Golden-run regression suite: every figure/table preset, re-executed at the
+// short golden run length and compared bit-for-bit against the fixtures
+// recorded under tests/golden/ (see src/runner/golden.hpp). One TEST per
+// preset so ctest parallelises across presets.
+//
+// A failure here means the architectural model changed: cycles, per-thread
+// committed counts, IPC, L2 misses or second-level grants drifted on some
+// cell. Performance work on the simulator core must keep this suite green;
+// deliberate model changes regenerate fixtures via `tlrob-golden --regen`
+// (see EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/golden.hpp"
+#include "runner/presets.hpp"
+
+namespace tlrob::runner {
+namespace {
+
+#ifndef TLROB_GOLDEN_DIR
+#error "TLROB_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+std::string fixture_path(const std::string& preset) {
+  return std::string(TLROB_GOLDEN_DIR) + "/" + preset + ".json";
+}
+
+GoldenFile load_fixture(const std::string& preset) {
+  const std::string path = fixture_path(preset);
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "missing golden fixture " << path
+                  << " — record it with: tlrob-golden --regen --preset " << preset;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return golden_from_json(ss.str());
+}
+
+void check_preset(const std::string& preset) {
+  const GoldenFile fixture = load_fixture(preset);
+  if (fixture.rows.empty()) return;  // load_fixture already failed the test
+  EXPECT_EQ(fixture.preset, preset);
+  const RunLengthSpec length = golden_run_length();
+  ASSERT_EQ(fixture.length.insts, length.insts)
+      << "fixture recorded at a different run length; regenerate deliberately";
+  ASSERT_EQ(fixture.length.warmup, length.warmup)
+      << "fixture recorded at a different run length; regenerate deliberately";
+
+  const std::vector<GoldenRow> actual = golden_fingerprints(preset);
+  const std::string diff = golden_diff(fixture.rows, actual);
+  EXPECT_EQ(diff, "") << "architectural drift on preset " << preset << ": " << diff;
+}
+
+// The explicit preset list below must cover src/runner/presets.cpp exactly;
+// this test fails the moment a preset is added without a golden TEST.
+const std::vector<std::string> kCoveredPresets = {
+    "fig1",          "fig2",
+    "fig3",          "fig4",
+    "fig5",          "fig6",
+    "fig7",          "table2",
+    "ablation_threshold", "ablation_fetch_policy",
+    "ablation_regfile",   "ablation_early_release",
+    "ablation_adaptive",
+};
+
+TEST(GoldenRuns, SuiteCoversEveryPreset) {
+  const std::set<std::string> covered(kCoveredPresets.begin(), kCoveredPresets.end());
+  for (const std::string& name : preset_names()) {
+    EXPECT_TRUE(covered.count(name))
+        << "preset " << name << " has no golden-run test; add it to kCoveredPresets, "
+        << "add a TEST below, and record its fixture with tlrob-golden --regen";
+  }
+  EXPECT_EQ(covered.size(), preset_names().size())
+      << "kCoveredPresets lists a preset that no longer exists";
+}
+
+TEST(GoldenRuns, Fig1) { check_preset("fig1"); }
+TEST(GoldenRuns, Fig2) { check_preset("fig2"); }
+TEST(GoldenRuns, Fig3) { check_preset("fig3"); }
+TEST(GoldenRuns, Fig4) { check_preset("fig4"); }
+TEST(GoldenRuns, Fig5) { check_preset("fig5"); }
+TEST(GoldenRuns, Fig6) { check_preset("fig6"); }
+TEST(GoldenRuns, Fig7) { check_preset("fig7"); }
+TEST(GoldenRuns, Table2) { check_preset("table2"); }
+TEST(GoldenRuns, AblationThreshold) { check_preset("ablation_threshold"); }
+TEST(GoldenRuns, AblationFetchPolicy) { check_preset("ablation_fetch_policy"); }
+TEST(GoldenRuns, AblationRegfile) { check_preset("ablation_regfile"); }
+TEST(GoldenRuns, AblationEarlyRelease) { check_preset("ablation_early_release"); }
+TEST(GoldenRuns, AblationAdaptive) { check_preset("ablation_adaptive"); }
+
+// The fixtures must witness the second-level machinery actually engaging at
+// the golden run length: a fixture where every two-level scheme records zero
+// grants would let the whole R-ROB/P-ROB path drift undetected.
+TEST(GoldenRuns, FixturesExerciseSecondLevel) {
+  u64 grants = 0;
+  for (const char* preset : {"fig2", "fig4", "fig5", "fig6"}) {
+    const GoldenFile fixture = load_fixture(preset);
+    for (const GoldenRow& row : fixture.rows) grants += row.second_level_grants;
+  }
+  EXPECT_GT(grants, 0u) << "no fixture records a second-level grant; the golden "
+                           "run length is too short to exercise two-level schemes";
+}
+
+// JSON round-trip: serialising the parsed fixture reproduces the file
+// byte-for-byte, so regens that change nothing are no-op diffs.
+TEST(GoldenRuns, FixtureRoundTripIsByteIdentical) {
+  const std::string path = fixture_path("fig2");
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const GoldenFile fixture = golden_from_json(text);
+  EXPECT_EQ(golden_to_json(fixture.preset, fixture.rows), text);
+}
+
+}  // namespace
+}  // namespace tlrob::runner

@@ -2,6 +2,8 @@
 // load/store queue, functional units, fetch policies and DCRA.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "pipeline/dcra.hpp"
 #include "pipeline/dyn_inst.hpp"
 #include "pipeline/fetch_policy.hpp"
@@ -9,6 +11,7 @@
 #include "pipeline/issue_queue.hpp"
 #include "pipeline/lsq.hpp"
 #include "pipeline/rename.hpp"
+#include "sim/trace.hpp"
 
 namespace tlrob {
 namespace {
@@ -156,9 +159,77 @@ TEST(IssueQueue, CollectFilters) {
   b.issued = true;
   iq.insert(&a);
   iq.insert(&b);
-  const auto unissued = iq.collect([](DynInst& d) { return !d.issued; });
+  std::vector<DynInst*> unissued;
+  iq.collect_into(unissued, [](DynInst& d) { return !d.issued; });
   ASSERT_EQ(unissued.size(), 1u);
   EXPECT_EQ(unissued[0], &a);
+}
+
+// Pins collect_into's selection-order contract: ascending slot index, where
+// insert() always takes the lowest free slot — NOT age order. The issue
+// stage sorts candidates by seq itself; if collect_into ever changed order
+// (or insert stopped reusing the lowest slot), replay-heavy workloads would
+// issue in a different sequence and every golden fixture would drift.
+TEST(IssueQueue, CollectOrderIsSlotOrderNotAge) {
+  IssueQueue iq(8, 1);
+  static const StaticInst w = alu(ireg(1));
+  DynInst a = dyn(&w, 0, 1), b = dyn(&w, 0, 2), c = dyn(&w, 0, 3), d = dyn(&w, 0, 4);
+  iq.insert(&a);  // slot 0
+  iq.insert(&b);  // slot 1
+  iq.insert(&c);  // slot 2
+  iq.remove(&b);  // frees slot 1
+  iq.insert(&d);  // the *youngest* instruction recycles the lowest free slot
+  std::vector<DynInst*> all;
+  iq.collect_into(all, [](DynInst&) { return true; });
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], &a);
+  EXPECT_EQ(all[1], &d);  // slot order: d (tseq 4) precedes c (tseq 3)
+  EXPECT_EQ(all[2], &c);
+
+  // The scratch buffer is cleared on entry and reused; stale contents and
+  // prior capacity must not leak into the result.
+  iq.collect_into(all, [](DynInst& di) { return di.tseq >= 3; });
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], &d);
+  EXPECT_EQ(all[1], &c);
+}
+
+// Regression test for the tracer's cycle-window edges: the window is
+// half-open [start, end) — an event at start-1 or end must not print, events
+// at start and end-1 must. The fast-forward gate (attached()) is independent
+// of the window so the core keeps single-stepping even outside it.
+TEST(PipelineTracer, WindowEdgesAreHalfOpen) {
+  PipelineTracer tracer;
+  static const StaticInst w = alu(ireg(1));
+  DynInst di = dyn(&w, 0, 7);
+
+  std::ostringstream log;
+  tracer.attach(&log, /*start=*/100, /*end=*/200);
+  EXPECT_TRUE(tracer.attached());
+  EXPECT_FALSE(tracer.active(99));
+  EXPECT_TRUE(tracer.active(100));
+  EXPECT_TRUE(tracer.active(199));
+  EXPECT_FALSE(tracer.active(200));
+
+  tracer.event(99, "fetch", di);
+  tracer.note(99, "early");
+  EXPECT_EQ(log.str(), "");
+  tracer.event(100, "fetch", di);
+  const std::string at_start = log.str();
+  EXPECT_NE(at_start.find("100 t0 #7 fetch"), std::string::npos);
+  tracer.event(199, "commit", di);
+  tracer.note(199, "inside");
+  EXPECT_NE(log.str().find("199 t0 #7 commit"), std::string::npos);
+  EXPECT_NE(log.str().find("199 -- inside"), std::string::npos);
+  const std::string before_end = log.str();
+  tracer.event(200, "commit", di);
+  tracer.note(200, "late");
+  EXPECT_EQ(log.str(), before_end);
+
+  // Detaching clears attached() — and with it the fast-forward inhibition.
+  tracer.attach(nullptr);
+  EXPECT_FALSE(tracer.attached());
+  EXPECT_FALSE(tracer.active(150));
 }
 
 StaticInst mem_op(OpClass op) {
@@ -265,7 +336,8 @@ TEST(FetchPolicy, IcountPrefersLeastLoaded) {
   v[0].frontend_count = 10;
   v[1].frontend_count = 2;
   v[2].iq_count = 5;
-  const auto order = p->order(v, 0);
+  std::vector<ThreadId> order;
+  p->order(v, 0, order);
   EXPECT_EQ(order[0], 1u);
   EXPECT_EQ(order[1], 2u);
   EXPECT_EQ(order[2], 0u);
@@ -289,9 +361,13 @@ TEST(FetchPolicy, FlushRequestsSquash) {
 TEST(FetchPolicy, RoundRobinRotates) {
   auto p = FetchPolicy::create(FetchPolicyKind::kRoundRobin, nullptr);
   std::vector<ThreadFetchView> v(4);
-  EXPECT_EQ(p->order(v, 0)[0], 0u);
-  EXPECT_EQ(p->order(v, 1)[0], 1u);
-  EXPECT_EQ(p->order(v, 5)[0], 1u);
+  std::vector<ThreadId> order;
+  p->order(v, 0, order);
+  EXPECT_EQ(order[0], 0u);
+  p->order(v, 1, order);
+  EXPECT_EQ(order[0], 1u);
+  p->order(v, 5, order);
+  EXPECT_EQ(order[0], 1u);
 }
 
 TEST(Dcra, ClassifiesByOutstandingL1) {

@@ -260,6 +260,48 @@ TEST(InjectedCorruption, ForgedResultValidBitFiresExecFlag) {
   EXPECT_TRUE(any_violation_of(core, "dod.execflag"));
 }
 
+TEST(InjectedCorruption, RecycledLsqPointerFiresPoolLiveness) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  ASSERT_TRUE(tick_until(core, 20000, [&] {
+    for (ThreadId t = 0; t < core.config().num_threads; ++t)
+      if (core.lsq_for_test(t).occupancy() > 0) return true;
+    return false;
+  }));
+  ASSERT_EQ(core.audit_now(), 0u);
+  // Recycle ROB slots out from under the LSQ: pop heads until the LSQ's
+  // oldest entry points at a slot the ring has reclaimed. This is the exact
+  // stale-pointer defect the ring slab makes possible and heap allocation
+  // hid behind allocator luck.
+  for (ThreadId t = 0; t < core.config().num_threads; ++t) {
+    LoadStoreQueue& lsq = core.lsq_for_test(t);
+    if (lsq.occupancy() == 0) continue;
+    u64 front_tseq = 0;
+    bool first = true;
+    lsq.for_each([&](const DynInst& e) {
+      if (first) {
+        front_tseq = e.tseq;
+        first = false;
+      }
+    });
+    ReorderBuffer& rob = core.rob_for_test(t);
+    while (rob.head() != nullptr && rob.head()->tseq <= front_tseq) rob.pop_head();
+    break;
+  }
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "pool.liveness"));
+}
+
+TEST(InjectedCorruption, SkewedPendingCountFiresEventWheel) {
+  SmtCore core = make_audited_core(RobScheme::kReactive);
+  core.run(500);
+  ASSERT_EQ(core.audit_now(), 0u);
+  core.wheel_for_test().test_only_corrupt_pending(+1);
+  EXPECT_GT(core.audit_now(), 0u);
+  EXPECT_TRUE(any_violation_of(core, "events.wheel"));
+  core.wheel_for_test().test_only_corrupt_pending(-1);  // restore for teardown sanity
+  EXPECT_EQ(core.audit_now(), 0u) << core.auditor().report();
+}
+
 TEST(InjectedCorruption, AbortOnViolationThrowsStructuredReport) {
   SmtCore core = make_audited_core(RobScheme::kReactive, /*abort_on_violation=*/true);
   EXPECT_NO_THROW(core.run(500));

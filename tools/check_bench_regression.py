@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Fail when simulator throughput regresses past the committed baseline.
+
+Usage:
+    bench_sim_speed --benchmark_format=json [--benchmark_repetitions=3] > cur.json
+    python3 tools/check_bench_regression.py --baseline BENCH_sim_speed.json \
+        --current cur.json
+
+The baseline file (BENCH_sim_speed.json at the repo root) holds a history of
+recorded runs; the newest entry is the contract. For every benchmark present
+in both files the current sim_cycles/s must be at least
+(1 - tolerance_pct/100) of the recorded value. Median aggregates are used
+when the current run has repetitions; otherwise the plain iteration row.
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+METRIC = "sim_cycles/s"
+
+
+def load_current(path):
+    """Map benchmark name -> sim_cycles/s, preferring median aggregates."""
+    with open(path) as f:
+        data = json.load(f)
+    medians = {}
+    singles = {}
+    for row in data.get("benchmarks", []):
+        if METRIC not in row:
+            continue
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                medians[row["name"].removesuffix("_median")] = row[METRIC]
+        else:
+            # Non-repetition runs have run_type "iteration" (or none at all
+            # in older library versions).
+            singles[row["name"]] = row[METRIC]
+    return medians if medians else singles
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="BENCH_sim_speed.json")
+    ap.add_argument("--current", required=True, help="google-benchmark JSON output")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline file's tolerance_pct",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    history = baseline.get("history", [])
+    if not history:
+        print(f"error: {args.baseline} has no history entries", file=sys.stderr)
+        return 2
+    newest = history[-1]
+    tolerance = args.tolerance if args.tolerance is not None else baseline.get("tolerance_pct", 20)
+    floor = 1.0 - tolerance / 100.0
+
+    current = load_current(args.current)
+    if not current:
+        print(f"error: {args.current} contains no {METRIC} rows", file=sys.stderr)
+        return 2
+
+    compared = 0
+    failed = []
+    print(f"baseline: {newest.get('label', '?')} ({newest.get('date', '?')})")
+    print(f"tolerance: -{tolerance:g}%")
+    for name, base in sorted(newest.get("benchmarks", {}).items()):
+        if name not in current:
+            print(f"  {name:32s} SKIP (not in current run)")
+            continue
+        cur = current[name]
+        ratio = cur / base
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"  {name:32s} {base:12.4e} -> {cur:12.4e}  ({ratio:6.2%}) {verdict}")
+        compared += 1
+        if ratio < floor:
+            failed.append(name)
+
+    if compared == 0:
+        print("error: no benchmark overlapped the baseline", file=sys.stderr)
+        return 2
+    if failed:
+        print(f"FAIL: {', '.join(failed)} regressed more than {tolerance:g}%")
+        return 1
+    print("PASS: throughput within tolerance of the recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
