@@ -14,17 +14,28 @@
 // Machine knobs: see sim/config_override.hpp (scheme=, threshold=, policy=,
 // rob1=, rob2=, l2_kb=, mem_lat=, seed=, ...).
 //
+// Observability knobs (src/obs):
+//   sample=N           interval telemetry every N cycles
+//   sample_out=PATH    write the series as JSON lines ("-" = stdout)
+//   sample_csv=PATH    write the series as CSV ("-" = stdout)
+//   trace_json=PATH    Chrome trace-event JSON (open in ui.perfetto.dev)
+//   profile=1          host-side per-stage wall-time profile, to stderr
+//
 // Examples:
 //   ./simulate mix=1 scheme=rrob threshold=16
 //   ./simulate art art mgrid crafty scheme=prob threshold=5 stats=1
 //   ./simulate mcf threads=1 rob1=128 policy=icount
+//   ./simulate mix=2 scheme=rrob sample=1000 sample_out=series.jsonl
+//       trace_json=trace.json
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "obs/chrome_trace.hpp"
 #include "sim/config_override.hpp"
 #include "sim/experiment.hpp"
 #include "workload/spec_profiles.hpp"
@@ -66,6 +77,13 @@ int main(int argc, char** argv) {
   const u64 warmup = opts.get_u64("warmup", 60000);
   const u64 max_cycles = opts.get_u64("max_cycles", 0);
 
+  // --- observability -------------------------------------------------------
+  cfg.telemetry.sample_interval = opts.get_u64("sample", cfg.telemetry.sample_interval);
+  cfg.telemetry.profile = opts.get_bool("profile", cfg.telemetry.profile);
+  if ((opts.has("sample_out") || opts.has("sample_csv")) &&
+      cfg.telemetry.sample_interval == 0)
+    cfg.telemetry.sample_interval = 1000;  // asking for the series implies sampling
+
   std::printf("%s", describe(cfg).c_str());
   std::printf("workload              ");
   for (const auto& b : benches) std::printf(" %s", b.name.c_str());
@@ -83,7 +101,36 @@ int main(int argc, char** argv) {
                          : std::strtoull(spec.c_str() + colon + 1, nullptr, 0);
     core.tracer().attach(&std::cerr, lo, hi);
   }
+  obs::ChromeTraceWriter chrome;
+  if (opts.has("trace_json")) core.attach_chrome_trace(&chrome);
   const RunResult r = core.run(insts, max_cycles, warmup);
+
+  // A sink path of "-" means stdout; anything else is a file (created or
+  // truncated). Returns false when the file cannot be opened.
+  auto write_to = [](const std::string& path, auto&& emit) {
+    if (path == "-") {
+      emit(std::cout);
+      return true;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+      return false;
+    }
+    emit(out);
+    return true;
+  };
+  bool sinks_ok = true;
+  if (opts.has("sample_out"))
+    sinks_ok &= write_to(opts.get("sample_out"),
+                         [&](std::ostream& os) { r.samples.write_jsonl(os); });
+  if (opts.has("sample_csv"))
+    sinks_ok &= write_to(opts.get("sample_csv"),
+                         [&](std::ostream& os) { r.samples.write_csv(os); });
+  if (opts.has("trace_json"))
+    sinks_ok &= write_to(opts.get("trace_json"),
+                         [&](std::ostream& os) { chrome.write(os); });
+  if (cfg.telemetry.profile) core.profiler().print(std::cerr, core.executed_cycles());
 
   std::printf("%-10s %10s %10s\n", "thread", "committed", "IPC");
   for (const auto& t : r.threads)
@@ -111,5 +158,5 @@ int main(int argc, char** argv) {
     for (const auto& [k, v] : r.counters)
       std::printf("%-44s %llu\n", k.c_str(), static_cast<unsigned long long>(v));
   }
-  return 0;
+  return sinks_ok ? 0 : 1;
 }

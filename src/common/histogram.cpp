@@ -1,6 +1,7 @@
 #include "common/histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace tlrob {
@@ -16,6 +17,20 @@ void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   total_ = 0;
   sum_ = 0;
+}
+
+u64 Histogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Nearest rank: the k-th smallest sample with k = ceil(p/100 * n), k >= 1.
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(std::ceil(p / 100.0 * static_cast<double>(total_))));
+  u64 seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return i;
+  }
+  return buckets_.size() - 1;  // unreachable: seen == total_ after the loop
 }
 
 void Histogram::merge(const Histogram& other) {

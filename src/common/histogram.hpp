@@ -29,6 +29,14 @@ class Histogram {
   /// Mean of recorded samples (using true values, not clamped ones).
   double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
 
+  /// Nearest-rank percentile over the recorded (clamped) values: the
+  /// smallest bucket value v such that at least ceil(p/100 * samples)
+  /// samples are <= v. `p` is clamped to [0, 100]; an empty histogram
+  /// yields 0. Samples that overflowed into the saturating last bucket
+  /// report max_value() (the clamped value — the histogram cannot know
+  /// more). Used by the interval sampler's occupancy summaries.
+  u64 percentile(double p) const;
+
   /// Merges another histogram with identical bucket count.
   void merge(const Histogram& other);
 

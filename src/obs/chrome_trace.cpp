@@ -1,0 +1,92 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+
+#include "runner/json.hpp"
+
+namespace tlrob::obs {
+
+using runner::json_escape;
+using runner::json_u64;
+
+void ChromeTraceWriter::set_thread_name(ThreadId tid, const std::string& name) {
+  Event e;
+  e.ph = 'M';
+  e.tid = tid;
+  e.name = name;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::complete_event(ThreadId tid, const std::string& name, Cycle start,
+                                       Cycle end, std::vector<Arg> args) {
+  Event e;
+  e.ph = 'X';
+  e.tid = tid;
+  e.name = name;
+  e.ts = start;
+  e.dur = end >= start ? end - start : 0;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::instant_event(ThreadId tid, const std::string& name, Cycle ts,
+                                      std::vector<Arg> args) {
+  Event e;
+  e.ph = 'i';
+  e.tid = tid;
+  e.name = name;
+  e.ts = ts;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::counter_event(ThreadId tid, const std::string& name, Cycle ts,
+                                      u64 value) {
+  Event e;
+  e.ph = 'C';
+  e.tid = tid;
+  e.name = name;
+  e.ts = ts;
+  e.args.push_back({"value", value});
+  events_.push_back(std::move(e));
+}
+
+size_t ChromeTraceWriter::count_named(char ph, const std::string& name) const {
+  return static_cast<size_t>(std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
+    // Metadata events serialise under the fixed name "thread_name" (the
+    // stored name is the track label), so match what write() emits.
+    if (e.ph == 'M') return ph == 'M' && name == "thread_name";
+    return e.ph == ph && e.name == name;
+  }));
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    if (e.ph == 'M') {
+      // Thread-name metadata: args.name carries the label.
+      os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << json_u64(e.tid)
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":" << json_escape(e.name) << "}}";
+      continue;
+    }
+    os << "{\"ph\":\"" << e.ph << "\",\"pid\":0,\"tid\":" << json_u64(e.tid)
+       << ",\"name\":" << json_escape(e.name) << ",\"ts\":" << json_u64(e.ts);
+    if (e.ph == 'X') os << ",\"dur\":" << json_u64(e.dur);
+    if (e.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i != 0) os << ",";
+        os << json_escape(e.args[i].key) << ":" << json_u64(e.args[i].value);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"1 ts = 1 simulated cycle\"}}\n";
+}
+
+}  // namespace tlrob::obs

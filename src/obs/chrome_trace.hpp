@@ -1,0 +1,86 @@
+// Structured event trace in the Chrome trace-event JSON format, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// The writer gives each hardware thread its own track (pid 0 / tid N, named
+// via thread_name metadata) and records:
+//   - duration spans ("X" complete events): second-level grant lifecycles
+//     (acquire -> release, with the trigger load and decision DoD as args)
+//     and L2-miss shadows (miss detection -> line fill, per load);
+//   - instant events ("i"): second-level allocation requests (candidate
+//     registration), squashes, and DoD snapshots at decision points;
+//   - counter tracks ("C"): per-thread ROB occupancy / outstanding L2
+//     misses at every interval-sampler boundary, when sampling is on.
+//
+// Timestamps are simulator cycles written into the microsecond `ts` field —
+// the standard trick for cycle-accurate traces (1 cycle renders as 1 us).
+//
+// Interaction with the idle-cycle fast-forward: every span edge and instant
+// above happens in a tick that changed machine state, and a fast-forwarded
+// cycle is by construction one in which nothing changed, so the event trace
+// is identical with fast-forwarding on or off and the writer does not pin
+// the core to cycle-by-cycle execution (unlike the text PipelineTracer).
+// Counter samples inside a skipped span are replayed by the sampler.
+//
+// Attachment mirrors PipelineTracer: host code owns the writer, attaches it
+// to a core (SmtCore::attach_chrome_trace) before running, and serialises
+// with write() afterwards. Detached (the default) costs one null-pointer
+// test per hooked event, never per cycle.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// One key/value argument pair rendered into the event's "args" object.
+  struct Arg {
+    std::string key;
+    u64 value = 0;
+  };
+
+  /// Names the track for hardware thread `tid` (shown by Perfetto in track
+  /// order); typically "t0 <benchmark>".
+  void set_thread_name(ThreadId tid, const std::string& name);
+
+  /// Duration span [start, end) on `tid`'s track.
+  void complete_event(ThreadId tid, const std::string& name, Cycle start, Cycle end,
+                      std::vector<Arg> args = {});
+
+  /// Thread-scoped instant event at `ts`.
+  void instant_event(ThreadId tid, const std::string& name, Cycle ts,
+                     std::vector<Arg> args = {});
+
+  /// Counter-track value at `ts` ("C" event; Perfetto renders a stepped
+  /// area chart per counter name).
+  void counter_event(ThreadId tid, const std::string& name, Cycle ts, u64 value);
+
+  size_t event_count() const { return events_.size(); }
+
+  /// Number of recorded events with the given ph/name (test helper).
+  size_t count_named(char ph, const std::string& name) const;
+
+  /// Serialises the whole trace as one JSON document ({"traceEvents": [...]}).
+  /// Events are written in recording order; trace viewers sort by ts.
+  void write(std::ostream& os) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  struct Event {
+    char ph = 'i';  // 'X' | 'i' | 'C' | 'M'
+    ThreadId tid = 0;
+    std::string name;
+    Cycle ts = 0;
+    Cycle dur = 0;  // 'X' only
+    std::vector<Arg> args;
+  };
+
+  std::vector<Event> events_;
+};
+
+}  // namespace tlrob::obs

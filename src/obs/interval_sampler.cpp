@@ -1,0 +1,105 @@
+#include "obs/interval_sampler.hpp"
+
+#include <algorithm>
+
+#include "common/histogram.hpp"
+#include "runner/json.hpp"
+
+namespace tlrob::obs {
+
+namespace {
+
+constexpr ThreadId kNoOwner = 0xffffffffu;
+
+using runner::json_double;
+using runner::json_u64;
+
+}  // namespace
+
+void IntervalSeries::write_jsonl(std::ostream& os) const {
+  std::vector<u64> prev_committed;
+  for (const IntervalSample& s : samples_) {
+    prev_committed.resize(s.threads.size(), 0);
+    os << "{\"cycle\":" << json_u64(s.cycle) << ",\"interval\":" << json_u64(interval_)
+       << ",\"owner\":";
+    if (s.second_level_owner == kNoOwner)
+      os << "null";
+    else
+      os << json_u64(s.second_level_owner);
+    os << ",\"iq_occ\":" << json_u64(s.iq_occ_total) << ",\"threads\":[";
+    for (size_t t = 0; t < s.threads.size(); ++t) {
+      const ThreadSample& th = s.threads[t];
+      const u64 delta = th.committed - std::min(th.committed, prev_committed[t]);
+      const double ipc =
+          interval_ == 0 ? 0.0 : static_cast<double>(delta) / static_cast<double>(interval_);
+      if (t != 0) os << ",";
+      os << "{\"rob\":" << json_u64(th.rob_occ) << ",\"rob_cap\":" << json_u64(th.rob_cap)
+         << ",\"iq\":" << json_u64(th.iq_occ) << ",\"lsq\":" << json_u64(th.lsq_occ)
+         << ",\"dod\":" << json_u64(th.dod_proxy) << ",\"mlp\":" << json_u64(th.outstanding_l2)
+         << ",\"dcra_iq_cap\":" << json_u64(th.dcra_iq_cap)
+         << ",\"committed\":" << json_u64(th.committed) << ",\"ipc\":" << json_double(ipc)
+         << "}";
+      prev_committed[t] = th.committed;
+    }
+    os << "]}\n";
+  }
+}
+
+void IntervalSeries::write_csv(std::ostream& os) const {
+  os << "cycle,thread,rob_occ,rob_cap,iq_occ,lsq_occ,dod_proxy,outstanding_l2,"
+        "dcra_iq_cap,committed,interval_ipc,second_level_owner\n";
+  std::vector<u64> prev_committed;
+  for (const IntervalSample& s : samples_) {
+    prev_committed.resize(s.threads.size(), 0);
+    for (size_t t = 0; t < s.threads.size(); ++t) {
+      const ThreadSample& th = s.threads[t];
+      const u64 delta = th.committed - std::min(th.committed, prev_committed[t]);
+      const double ipc =
+          interval_ == 0 ? 0.0 : static_cast<double>(delta) / static_cast<double>(interval_);
+      os << s.cycle << "," << t << "," << th.rob_occ << "," << th.rob_cap << "," << th.iq_occ
+         << "," << th.lsq_occ << "," << th.dod_proxy << "," << th.outstanding_l2 << ","
+         << th.dcra_iq_cap << "," << th.committed << "," << json_double(ipc) << ",";
+      if (s.second_level_owner == kNoOwner)
+        os << "none";
+      else
+        os << s.second_level_owner;
+      os << "\n";
+      prev_committed[t] = th.committed;
+    }
+  }
+}
+
+std::map<std::string, u64> series_summary_counters(const IntervalSeries& series) {
+  std::map<std::string, u64> out;
+  if (series.empty()) return out;
+  out["obs.samples"] = series.size();
+  out["obs.sample_interval"] = series.interval();
+
+  const size_t num_threads = series.samples().front().threads.size();
+  for (size_t t = 0; t < num_threads; ++t) {
+    // Bucket bounds: occupancies are clamped by their capacities, so the
+    // largest observed capacity sizes the histogram exactly; MLP and DoD
+    // use the same bound (both are bounded by the window).
+    u32 max_cap = 1;
+    for (const IntervalSample& s : series.samples())
+      max_cap = std::max(max_cap, s.threads[t].rob_cap);
+    Histogram rob_occ(max_cap), iq_occ(max_cap), mlp(max_cap), dod(max_cap);
+    for (const IntervalSample& s : series.samples()) {
+      const ThreadSample& th = s.threads[t];
+      rob_occ.record(th.rob_occ);
+      iq_occ.record(th.iq_occ);
+      mlp.record(th.outstanding_l2);
+      dod.record(th.dod_proxy);
+    }
+    const std::string prefix = "obs.t" + std::to_string(t) + ".";
+    out[prefix + "rob_occ_p50"] = rob_occ.percentile(50.0);
+    out[prefix + "rob_occ_p90"] = rob_occ.percentile(90.0);
+    out[prefix + "rob_occ_p99"] = rob_occ.percentile(99.0);
+    out[prefix + "iq_occ_p90"] = iq_occ.percentile(90.0);
+    out[prefix + "mlp_p90"] = mlp.percentile(90.0);
+    out[prefix + "dod_p90"] = dod.percentile(90.0);
+  }
+  return out;
+}
+
+}  // namespace tlrob::obs

@@ -1,0 +1,103 @@
+// Deterministic interval telemetry: every N cycles the core snapshots the
+// occupancy dynamics the paper's argument is made of — how full each
+// thread's window is, who holds the shared second level, how many L2 misses
+// are in flight (memory-level parallelism), and the DoD proxy the
+// allocation schemes decide on — into an in-memory time series.
+//
+// Determinism contract: a sample is a pure function of machine state at its
+// cycle, and every quantity captured is invariant across a provably idle
+// cycle. The core therefore *replays* sample points that fall inside an
+// idle-cycle fast-forward from the quiescent state (the same way it replays
+// the per-cycle stall counters), and the series is bit-identical whether or
+// not the fast-forward fired. tests/test_obs.cpp pins this.
+//
+// Export formats:
+//   JSONL — one object per sample, fixed key order and number formatting
+//           (runner/json.hpp writers), so parallel campaign workers produce
+//           byte-identical files.
+//   CSV   — long form, one row per (sample, thread), for spreadsheet /
+//           pandas consumption.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob::obs {
+
+/// Per-thread slice of one sample.
+struct ThreadSample {
+  u32 rob_occ = 0;         // instructions in the thread's ROB window
+  u32 rob_cap = 0;         // current capacity (base + granted extra)
+  u32 iq_occ = 0;          // this thread's shared-IQ entries
+  u32 lsq_occ = 0;         // LSQ entries
+  u32 dod_proxy = 0;       // unexecuted insts in the first-level window
+  u32 outstanding_l2 = 0;  // in-flight L2 misses (MLP)
+  u32 dcra_iq_cap = 0;     // DCRA's current issue-queue cap for this thread
+  u64 committed = 0;       // cumulative committed (measurement-relative)
+
+  bool operator==(const ThreadSample&) const = default;
+};
+
+/// One interval boundary. `cycle` is the absolute simulator cycle the
+/// sample is labelled with (always a multiple of the interval).
+struct IntervalSample {
+  Cycle cycle = 0;
+  ThreadId second_level_owner = 0xffffffffu;  // SecondLevelRob::kNoOwner
+  u32 iq_occ_total = 0;
+  std::vector<ThreadSample> threads;
+
+  bool operator==(const IntervalSample&) const = default;
+};
+
+/// The recorded series plus its period. The core owns one and appends; the
+/// result plumbing (RunResult, campaign records, the tlrob-trace tool) copy
+/// or serialise it.
+class IntervalSeries {
+ public:
+  IntervalSeries() = default;
+  explicit IntervalSeries(Cycle interval) : interval_(interval) {}
+
+  Cycle interval() const { return interval_; }
+  bool enabled() const { return interval_ != 0; }
+  const std::vector<IntervalSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  void add(IntervalSample&& s) { samples_.push_back(std::move(s)); }
+  /// Measurement-boundary reset: drops recorded samples, keeps the period
+  /// (subsequent samples stay aligned to absolute interval boundaries).
+  void reset() { samples_.clear(); }
+
+  /// One JSON object per line. Per-thread interval IPC is derived from the
+  /// committed deltas between consecutive samples (the first sample's delta
+  /// baseline is 0 committed).
+  void write_jsonl(std::ostream& os) const;
+
+  /// Long-form CSV with a header row: one row per (sample, thread).
+  void write_csv(std::ostream& os) const;
+
+  bool operator==(const IntervalSeries& o) const {
+    return interval_ == o.interval_ && samples_ == o.samples_;
+  }
+
+ private:
+  Cycle interval_ = 0;
+  std::vector<IntervalSample> samples_;
+};
+
+/// Occupancy-distribution summary of a series, flattened to the dotted
+/// counter namespace so it rides inside JobRecord::counters and round-trips
+/// through every campaign sink unchanged:
+///   obs.samples                 — number of samples recorded
+///   obs.tN.rob_occ_p50/p90/p99  — ROB-occupancy percentiles (Histogram)
+///   obs.tN.iq_occ_p90           — shared-IQ share percentile
+///   obs.tN.mlp_p90              — outstanding-L2 (MLP) percentile
+///   obs.tN.dod_p90              — DoD-proxy percentile
+/// Empty when the series is empty (so disabled telemetry adds no keys).
+std::map<std::string, u64> series_summary_counters(const IntervalSeries& series);
+
+}  // namespace tlrob::obs

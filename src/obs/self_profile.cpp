@@ -1,0 +1,66 @@
+#include "obs/self_profile.hpp"
+
+#include <cstdio>
+
+namespace tlrob::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kEvents: return "events";
+    case Phase::kCommit: return "commit";
+    case Phase::kIssue: return "issue";
+    case Phase::kDispatch: return "dispatch";
+    case Phase::kFetch: return "fetch";
+    case Phase::kEarlyRelease: return "early_release";
+    case Phase::kController: return "controller";
+    case Phase::kAudit: return "audit";
+    case Phase::kSample: return "sample";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+u64 SelfProfiler::total_attributed_nanos() const {
+  u64 total = 0;
+  for (const u64 n : nanos_) total += n;
+  return total;
+}
+
+void SelfProfiler::reset() {
+  nanos_.fill(0);
+  calls_.fill(0);
+}
+
+void SelfProfiler::print(std::ostream& os, u64 executed_cycles, double wall_seconds) const {
+  const u64 total = total_attributed_nanos();
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-14s %12s %7s %12s %10s\n", "phase", "total ms",
+                "share", "ns/call", "ns/cycle");
+  os << line;
+  for (size_t i = 0; i < static_cast<size_t>(Phase::kCount); ++i) {
+    const double ms = static_cast<double>(nanos_[i]) / 1e6;
+    const double share =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(nanos_[i]) / static_cast<double>(total);
+    const double per_call =
+        calls_[i] == 0 ? 0.0
+                       : static_cast<double>(nanos_[i]) / static_cast<double>(calls_[i]);
+    const double per_cycle =
+        executed_cycles == 0
+            ? 0.0
+            : static_cast<double>(nanos_[i]) / static_cast<double>(executed_cycles);
+    std::snprintf(line, sizeof(line), "%-14s %12.3f %6.1f%% %12.1f %10.1f\n",
+                  phase_name(static_cast<Phase>(i)), ms, share, per_call, per_cycle);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "%-14s %12.3f\n", "attributed",
+                static_cast<double>(total) / 1e6);
+  os << line;
+  if (wall_seconds > 0.0) {
+    const double residual_ms = wall_seconds * 1e3 - static_cast<double>(total) / 1e6;
+    std::snprintf(line, sizeof(line), "%-14s %12.3f  (fast-forward scans, run loop)\n",
+                  "unattributed", residual_ms);
+    os << line;
+  }
+}
+
+}  // namespace tlrob::obs

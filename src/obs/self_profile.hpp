@@ -1,0 +1,68 @@
+// Host-side simulator self-profiling: attributes wall-clock time to the
+// pipeline phases of the cycle loop (event drain, commit, issue, dispatch,
+// fetch, early release, ROB-controller tick, audit, interval sampling), so
+// "why is this configuration slow to simulate" is answerable without an
+// external profiler.
+//
+// Enabled via MachineConfig::telemetry.profile (or $TLROB_PROFILE=1); the
+// core then routes ticks through a timing wrapper that brackets each stage
+// with steady_clock reads. Disabled (the default), the only cost is one
+// boolean test per tick dispatch — the phase accumulators are never touched
+// and the golden fingerprints and perf-smoke contract are unaffected.
+// Attributed time deliberately excludes the fast-forward bookkeeping and
+// run()'s loop overhead; print() reports the residual against a caller-
+// measured wall time when one is provided.
+#pragma once
+
+#include <array>
+#include <ostream>
+
+#include "common/types.hpp"
+
+namespace tlrob::obs {
+
+enum class Phase : u8 {
+  kEvents,        // event-wheel drain (completions, fills, miss detections)
+  kCommit,
+  kIssue,
+  kDispatch,
+  kFetch,
+  kEarlyRelease,  // optional Sharkey-Ponomarev early register release
+  kController,    // TwoLevelRobController::tick
+  kAudit,         // invariant checks
+  kSample,        // interval-sampler capture
+  kCount,
+};
+
+const char* phase_name(Phase p);
+
+class SelfProfiler {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void add(Phase p, u64 nanos) {
+    nanos_[static_cast<size_t>(p)] += nanos;
+    ++calls_[static_cast<size_t>(p)];
+  }
+
+  u64 nanos(Phase p) const { return nanos_[static_cast<size_t>(p)]; }
+  u64 calls(Phase p) const { return calls_[static_cast<size_t>(p)]; }
+  u64 total_attributed_nanos() const;
+
+  void reset();
+
+  /// Summary table: per phase, total ms, share of attributed time, and
+  /// ns/call. `executed_cycles` (ticks actually run, i.e. cycles minus the
+  /// fast-forwarded ones) yields the ns/cycle column; `wall_seconds` > 0
+  /// adds the unattributed residual (fast-forward scans, run()-loop
+  /// overhead) as a final row.
+  void print(std::ostream& os, u64 executed_cycles, double wall_seconds = 0.0) const;
+
+ private:
+  bool enabled_ = false;
+  std::array<u64, static_cast<size_t>(Phase::kCount)> nanos_{};
+  std::array<u64, static_cast<size_t>(Phase::kCount)> calls_{};
+};
+
+}  // namespace tlrob::obs

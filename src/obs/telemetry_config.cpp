@@ -1,0 +1,23 @@
+#include "obs/telemetry_config.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace tlrob::obs {
+
+TelemetryConfig default_telemetry_config() {
+  // Computed once: the environment is the process-wide switch, not a
+  // per-config knob (explicit assignment to MachineConfig::telemetry
+  // overrides).
+  static const TelemetryConfig cached = [] {
+    TelemetryConfig cfg;
+    if (const char* s = std::getenv("TLROB_SAMPLE"); s != nullptr && *s != '\0')
+      cfg.sample_interval = std::strtoull(s, nullptr, 0);
+    if (const char* p = std::getenv("TLROB_PROFILE"); p != nullptr && *p != '\0')
+      cfg.profile = std::string(p) != "0";
+    return cfg;
+  }();
+  return cached;
+}
+
+}  // namespace tlrob::obs

@@ -48,6 +48,14 @@ struct CampaignSpec {
   /// recorded as failed instead of aborting the sweep). 0 = the simulator's
   /// derived generous bound.
   u64 max_cycles = 0;
+
+  /// Interval telemetry (src/obs), applied to every job. A nonzero
+  /// sample_interval turns sampling on: each record gains the obs.* summary
+  /// counters, and when sample_dir is also set each job writes its full
+  /// series to <sample_dir>/samples_job<index>.jsonl. Both outputs are pure
+  /// functions of the JobSpec, so they are byte-identical for any --jobs N.
+  u64 sample_interval = 0;
+  std::string sample_dir;
 };
 
 /// splitmix64 — the standard 64-bit seed scrambler (Steele et al.),

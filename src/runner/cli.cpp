@@ -105,6 +105,8 @@ CampaignSpec custom_campaign(const Options& opts) {
   spec.seed = opts.get_u64("seed", spec.seed);
   spec.per_job_seeds = opts.get_bool("per_job_seeds", false);
   spec.max_cycles = opts.get_u64("max_cycles", 0);
+  spec.sample_interval = opts.get_u64("sample_interval", 0);
+  spec.sample_dir = opts.get("sample_dir", "");
   return spec;
 }
 
@@ -145,6 +147,8 @@ int run_from_options(const std::string& preset, const Options& opts) {
     popts.manifest_path = opts.get("manifest", "");
     popts.resume = opts.get_bool("resume", false);
     popts.render = render;
+    popts.sample_interval = opts.get_u64("sample_interval", 0);
+    popts.sample_dir = opts.get("sample_dir", "");
     result = run_preset(preset, popts);
     campaign_name = preset;
   } else {

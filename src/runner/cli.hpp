@@ -15,6 +15,10 @@
 //   --max-cycles N  per-job cycle cap (the timeout; 0 = derived bound)
 //   --seed N        base RNG seed
 //   --per-job-seeds derive a distinct deterministic seed per cell
+//   --sample-interval N  interval telemetry every N cycles (obs.* summary
+//                   counters per record; 0 = off)
+//   --sample-dir D  also write each job's full series to
+//                   D/samples_job<index>.jsonl
 // Custom sweeps (tlrob-campaign without a preset):
 //   --schemes a,b   baseline32|baseline128|rrob|relaxed|cdr|prob|adaptive
 //   --thresholds l  DoD thresholds crossed with the threshold-taking schemes

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/interval_sampler.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "workload/spec_profiles.hpp"
@@ -28,6 +29,7 @@ JobRecord execute_job(const JobSpec& spec) {
   try {
     MachineConfig cfg = spec.config;
     cfg.seed = spec.seed;
+    if (spec.sample_interval != 0) cfg.telemetry.sample_interval = spec.sample_interval;
     const RunResult run =
         run_benchmarks(cfg, mix_benchmarks(spec.mix), spec.insts, spec.max_cycles, spec.warmup);
 
@@ -54,6 +56,18 @@ JobRecord execute_job(const JobSpec& spec) {
     for (u32 v = 0; v <= run.dod_proxy.max_value(); ++v)
       rec.dod_proxy.buckets.push_back(run.dod_proxy.bucket(v));
     rec.counters = run.counters;
+    // Telemetry summary rides the record's counter map — it round-trips
+    // through to_json_line / the manifest like any other counter, and is a
+    // pure function of the JobSpec (so identical for any worker count).
+    for (const auto& [name, v] : obs::series_summary_counters(run.samples))
+      rec.counters[name] = v;
+    if (!run.samples.empty() && !spec.sample_dir.empty()) {
+      const std::string path =
+          spec.sample_dir + "/samples_job" + std::to_string(spec.index) + ".jsonl";
+      std::ofstream out(path);
+      if (!out.is_open()) throw std::runtime_error("cannot open sample sink: " + path);
+      run.samples.write_jsonl(out);
+    }
 
     if (fastest < spec.insts) {
       rec.status = JobStatus::kFailed;

@@ -333,7 +333,9 @@ CampaignSpec preset_campaign(const std::string& name, const RunLengthSpec& lengt
 
 CampaignResult run_preset(const std::string& name, const PresetOptions& opts) {
   const Preset& preset = find_preset(name);
-  const CampaignSpec spec = preset.make(opts.length);
+  CampaignSpec spec = preset.make(opts.length);
+  spec.sample_interval = opts.sample_interval;
+  spec.sample_dir = opts.sample_dir;
 
   EngineOptions eng;
   eng.jobs = WorkStealingPool::resolve_threads(opts.jobs);

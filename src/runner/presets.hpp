@@ -27,6 +27,11 @@ struct PresetOptions {
   /// Render the preset's tables/epilogue to `out` (off for sink-only runs).
   bool render = true;
   std::FILE* out = stdout;
+  /// Interval telemetry forwarded into the preset's CampaignSpec
+  /// (campaign.hpp: obs.* summary counters per record; per-job series
+  /// files when sample_dir is set).
+  u64 sample_interval = 0;
+  std::string sample_dir;
 };
 
 /// All preset names, in presentation order.

@@ -32,6 +32,14 @@ struct JobSpec {
   u64 warmup = 0;
   u64 max_cycles = 0;  // 0 = the simulator's derived generous bound
   u64 seed = 0;        // applied to config.seed before the run
+
+  /// Interval telemetry (campaign-wide, copied from CampaignSpec): nonzero
+  /// sample_interval enables sampling for this job; non-empty sample_dir
+  /// makes the job write its series to
+  /// <sample_dir>/samples_job<index>.jsonl. Excluded from job_key — a
+  /// resumed cell is the same cell whether or not it was sampled.
+  u64 sample_interval = 0;
+  std::string sample_dir;
 };
 
 /// Stable identity of a cell across campaign runs — what the resume

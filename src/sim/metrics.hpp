@@ -9,6 +9,7 @@
 
 #include "common/histogram.hpp"
 #include "common/types.hpp"
+#include "obs/interval_sampler.hpp"
 
 namespace tlrob {
 
@@ -31,6 +32,10 @@ struct RunResult {
 
   /// Flat copy of the core's counters at end of run.
   std::map<std::string, u64> counters;
+
+  /// Interval-telemetry time series (empty unless
+  /// MachineConfig::telemetry.sample_interval was nonzero).
+  obs::IntervalSeries samples;
 
   double total_throughput() const;
 };

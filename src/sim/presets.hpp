@@ -5,6 +5,7 @@
 
 #include "memory/memory_system.hpp"
 #include "branch/predictor.hpp"
+#include "obs/telemetry_config.hpp"
 #include "pipeline/dcra.hpp"
 #include "pipeline/fetch_policy.hpp"
 #include "rob/allocation_policy.hpp"
@@ -67,6 +68,11 @@ struct MachineConfig {
   /// $TLROB_AUDIT setting so CI can turn the cheap tier on for every
   /// existing test without touching them.
   AuditConfig audit = default_audit_config();
+
+  /// Observability (src/obs): interval sampling and host self-profiling.
+  /// Defaults to the process-wide $TLROB_SAMPLE / $TLROB_PROFILE settings;
+  /// everything off (the default) is provably zero-cost on the cycle loop.
+  obs::TelemetryConfig telemetry = obs::default_telemetry_config();
 
   u64 seed = 12345;
 };

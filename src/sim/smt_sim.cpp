@@ -1,9 +1,25 @@
 #include "sim/smt_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace tlrob {
+
+namespace {
+
+// Incremental append instead of an operator+ chain: GCC 12's -O3 restrict
+// analysis misfires on long chains over std::to_string temporaries
+// (GCC PR 105329) and -Werror turns that into a build break.
+std::string concat(std::initializer_list<std::string_view> parts) {
+  std::string out;
+  for (const auto part : parts) out += part;
+  return out;
+}
+
+}  // namespace
 
 SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks)
     : cfg_(cfg),
@@ -17,7 +33,11 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
       dcra_(cfg.dcra, cfg.num_threads),
       second_(cfg.rob_second_level),
       wp_rng_(cfg.seed ^ 0xabcdef12345ULL),
+      series_(cfg.telemetry.sample_interval),
+      sample_every_(cfg.telemetry.sample_interval),
+      next_sample_(cfg.telemetry.sample_interval),
       auditor_(cfg.audit, cfg.num_threads) {
+  profiler_.enable(cfg.telemetry.profile);
   if (benchmarks_.size() != cfg.num_threads)
     throw std::invalid_argument("SmtCore: one benchmark per hardware thread required");
   if (cfg.early_register_release && cfg.fetch_policy == FetchPolicyKind::kFlush)
@@ -164,9 +184,19 @@ void SmtCore::handle_load_fill(DynInst& di) {
   if (!di.wrong_path && di.is_l2_miss) {
     // Figures 1 / 3 / 7: dependents captured by the ROB at miss-service time.
     ReorderBuffer& rob = threads_[di.tid].rob;
-    dod_true_.record(rob.count_true_dependents(di));
-    dod_proxy_.record(rob.count_unexecuted_younger(di.tseq, 0xffffffffu));
+    const u32 dod_true = rob.count_true_dependents(di);
+    const u32 dod_proxy = rob.count_unexecuted_younger(di.tseq, 0xffffffffu);
+    dod_true_.record(dod_true);
+    dod_proxy_.record(dod_proxy);
     cnt_loads_l2_miss_fills_->inc();
+    if (trace_ != nullptr) {
+      // The miss shadow: detection to line arrival, the window the paper's
+      // second-level grants live in.
+      trace_->complete_event(di.tid, "l2_miss_shadow", di.l2_miss_detect_cycle, cycle_,
+                             {{"tseq", di.tseq}, {"pc", di.pc}});
+      trace_->instant_event(di.tid, "dod_snapshot", cycle_,
+                            {{"dod_true", dod_true}, {"dod_proxy", dod_proxy}});
+    }
   }
   if (!di.wrong_path) rob_ctrl_->on_load_fill(di, cycle_);
   drop_outstanding_counts(di);
@@ -188,6 +218,9 @@ void SmtCore::handle_l2_miss_detect(DynInst& di) {
   stats_.counter(di.wrong_path ? "loads.l2_miss_detect_wp" : "loads.l2_miss_detect").inc();
   if (di.wrong_path) return;
   rob_ctrl_->on_l2_miss_detected(di, cycle_);
+  if (trace_ != nullptr)
+    trace_->instant_event(di.tid, "second_level_request", cycle_,
+                          {{"tseq", di.tseq}, {"pc", di.pc}});
   if (fetch_policy_->flush_on_l2_miss()) {
     undispatch_after(di.tid, di.tseq);
     stats_.counter("flush.triggered").inc();
@@ -283,6 +316,7 @@ void SmtCore::resolve_control(DynInst& di) {
 
 void SmtCore::squash_after(ThreadId tid, u64 tseq) {
   ThreadState& ts = threads_[tid];
+  const u64 squashed_before = cnt_squash_insts_->value();
   while (!ts.frontend.empty() && ts.frontend.back().tseq > tseq) ts.frontend.pop_back();
   ts.lsq.squash_after(tseq);  // before the ROB destroys the entries it points at
   ts.rob.squash_after(tseq, [&](DynInst& d) {
@@ -296,6 +330,13 @@ void SmtCore::squash_after(ThreadId tid, u64 tseq) {
     cnt_squash_insts_->inc();
   });
   rob_ctrl_->on_squash(tid, tseq);
+  const u64 squashed = cnt_squash_insts_->value() - squashed_before;
+  if (trace_ != nullptr)
+    trace_->instant_event(tid, "squash", cycle_, {{"insts", squashed}, {"after_tseq", tseq}});
+  tracer_.note_if(cycle_, [&] {
+    return concat({"t", std::to_string(tid), " squash after #", std::to_string(tseq), " (",
+                   std::to_string(squashed), " insts)"});
+  });
 }
 
 void SmtCore::undispatch_after(ThreadId tid, u64 tseq) {
@@ -779,34 +820,81 @@ bool SmtCore::do_early_release() {
   return released > 0;
 }
 
-bool SmtCore::tick_once() {
+template <bool Profiled>
+bool SmtCore::tick_impl() {
+  // The profiled instantiation brackets each stage with steady_clock reads;
+  // the plain one compiles `lap` to nothing, so both share this body and the
+  // stage sequence cannot drift between them.
+  std::chrono::steady_clock::time_point t0;
+  if constexpr (Profiled) t0 = std::chrono::steady_clock::now();
+  auto lap = [&](obs::Phase ph) {
+    if constexpr (Profiled) {
+      const auto t1 = std::chrono::steady_clock::now();
+      profiler_.add(ph, static_cast<u64>(
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                                .count()));
+      t0 = t1;
+    } else {
+      (void)ph;
+    }
+  };
+
   bool active = false;
   if (process_events()) active = true;
+  lap(obs::Phase::kEvents);
   if (do_commit()) active = true;
+  lap(obs::Phase::kCommit);
   if (do_issue()) active = true;
+  lap(obs::Phase::kIssue);
   if (do_dispatch()) active = true;
+  lap(obs::Phase::kDispatch);
   if (do_fetch()) active = true;
-  if (cfg_.early_register_release && do_early_release()) active = true;
+  lap(obs::Phase::kFetch);
+  if (cfg_.early_register_release) {
+    if (do_early_release()) active = true;
+    lap(obs::Phase::kEarlyRelease);
+  }
   if (rob_ctrl_->tick(cycle_)) active = true;
+  lap(obs::Phase::kController);
   // Audit after the policy tick: maybe_release has run, so a granted window
   // whose justifying load completed this cycle has been revoked and any
   // surviving grant must be trigger-backed (see second_level_check.cpp).
   if (auditor_.enabled()) {
     refresh_audit_ctx();
     auditor_.run_cycle(audit_ctx_);
+    lap(obs::Phase::kAudit);
+  }
+  // Observability, after every stage has settled. Ownership transitions only
+  // happen in state-changing ticks, so polling per executed tick sees every
+  // tenure edge; the sampler compare is the whole per-tick cost when off.
+  if (trace_ != nullptr || tracer_.attached()) poll_second_level();
+  if (sample_every_ != 0 && cycle_ + 1 == next_sample_) {
+    record_sample(next_sample_);
+    next_sample_ += sample_every_;
+    lap(obs::Phase::kSample);
   }
   ++cycle_;
   return active;
 }
 
-void SmtCore::tick() { tick_once(); }
+template bool SmtCore::tick_impl<false>();
+template bool SmtCore::tick_impl<true>();
+
+bool SmtCore::tick_dispatch() {
+  return profiler_.enabled() ? tick_impl<true>() : tick_impl<false>();
+}
+
+void SmtCore::tick() { tick_dispatch(); }
 
 void SmtCore::step(Cycle limit) {
   // The fast-forward needs every cycle to be invisible to observers: the
   // auditor samples fixed cycle intervals and the tracer logs a window, so
-  // either being attached pins the core to cycle-by-cycle execution.
+  // either being attached pins the core to cycle-by-cycle execution. (The
+  // Chrome trace and the interval sampler do NOT pin it: trace events only
+  // happen in state-changing ticks, and skipped sample points are replayed
+  // below from the quiescent state every skipped cycle saw.)
   if (auditor_.enabled() || tracer_.attached()) {
-    tick_once();
+    tick_dispatch();
     return;
   }
 
@@ -818,7 +906,7 @@ void SmtCore::step(Cycle limit) {
   const u64 s_dcra = cnt_stall_dcra_->value();
   const u64 s_gated = cnt_fetch_policy_gated_->value();
 
-  if (tick_once()) return;
+  if (tick_dispatch()) return;
 
   // The tick just executed (at cycle_ - 1) was provably a no-op: no event
   // fired, nothing committed / issued / dispatched / fetched / released, and
@@ -844,6 +932,19 @@ void SmtCore::step(Cycle limit) {
   }
   if (wake <= cycle_) return;
 
+  // Replay the sample points inside the skipped span. Every sampled quantity
+  // (occupancies, outstanding misses, DCRA caps, committed counts, ownership)
+  // is machine state, and a skippable cycle is by definition one in which no
+  // machine state changes — so each skipped sample point would have captured
+  // exactly the state visible right now. Label semantics match the tick path:
+  // sample L is the state after cycle L-1 completed.
+  if (sample_every_ != 0) {
+    while (next_sample_ <= wake) {
+      record_sample(next_sample_);
+      next_sample_ += sample_every_;
+    }
+  }
+
   const u64 skipped = wake - cycle_;
   cnt_stall_rob_->inc((cnt_stall_rob_->value() - s_rob) * skipped);
   cnt_stall_iq_->inc((cnt_stall_iq_->value() - s_iq) * skipped);
@@ -855,6 +956,79 @@ void SmtCore::step(Cycle limit) {
   commit_rr_ += skipped;  // do_commit advances the rotation every cycle
   fast_forwarded_ += skipped;
   cycle_ = wake;
+}
+
+void SmtCore::attach_chrome_trace(obs::ChromeTraceWriter* writer) {
+  trace_ = writer;
+  if (trace_ == nullptr) return;
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t)
+    trace_->set_thread_name(t, concat({"t", std::to_string(t), " ", benchmarks_[t].name}));
+}
+
+void SmtCore::flush_chrome_trace() {
+  if (trace_ == nullptr || sl_owner_ == SecondLevelRob::kNoOwner) return;
+  // Close the still-open tenure at the current cycle; tracking state is left
+  // alone so a subsequent run() continues observing the live grant.
+  trace_->complete_event(sl_owner_, "second_level_grant", sl_acquired_, cycle_,
+                         {{"trigger_tseq", sl_trigger_}, {"alloc", sl_allocs_}});
+}
+
+void SmtCore::poll_second_level() {
+  const ThreadId owner = second_.owner();
+  const u64 allocs = second_.total_allocations();
+  if (owner == sl_owner_ && allocs == sl_allocs_) return;
+  // A changed allocation count with an unchanged owner is a release and
+  // re-grant inside one tick (the controller's maybe_release + acquire) —
+  // still one tenure ending and another beginning.
+  if (sl_owner_ != SecondLevelRob::kNoOwner) {
+    if (trace_ != nullptr)
+      trace_->complete_event(sl_owner_, "second_level_grant", sl_acquired_, cycle_,
+                             {{"trigger_tseq", sl_trigger_}, {"alloc", sl_allocs_}});
+    tracer_.note_if(cycle_, [&] {
+      return concat({"t", std::to_string(sl_owner_), " releases second-level partition (held since ",
+                     std::to_string(sl_acquired_), ")"});
+    });
+  }
+  sl_owner_ = owner;
+  sl_allocs_ = allocs;
+  if (owner != SecondLevelRob::kNoOwner) {
+    sl_acquired_ = second_.acquired_at();
+    sl_trigger_ = rob_ctrl_->audit_trigger_tseq(owner);
+    tracer_.note_if(cycle_, [&] {
+      return concat({"t", std::to_string(owner), " granted second-level partition (trigger #",
+                     std::to_string(sl_trigger_), ")"});
+    });
+  }
+}
+
+void SmtCore::record_sample(Cycle label) {
+  obs::IntervalSample s;
+  s.cycle = label;
+  s.second_level_owner = second_.owner();
+  s.iq_occ_total = iq_.occupancy();
+  s.threads.reserve(cfg_.num_threads);
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
+    const ThreadState& ts = threads_[t];
+    obs::ThreadSample th;
+    th.rob_occ = ts.rob.size();
+    th.rob_cap = ts.rob.capacity();
+    th.iq_occ = iq_.occupancy(t);
+    th.lsq_occ = ts.lsq.occupancy();
+    // The paper's proxy applied to the whole resident window: not-yet-executed
+    // instructions younger than (and including) the ROB head.
+    th.dod_proxy =
+        ts.rob.empty() ? 0 : ts.rob.count_unexecuted_younger(ts.rob.head()->tseq - 1,
+                                                             0xffffffffu);
+    th.outstanding_l2 = ts.outstanding_l2;
+    th.dcra_iq_cap = dcra_.cap(t, cfg_.iq_entries);
+    th.committed = ts.committed - ts.committed_base;
+    if (trace_ != nullptr) {
+      trace_->counter_event(t, "rob_occ", label, th.rob_occ);
+      trace_->counter_event(t, "outstanding_l2", label, th.outstanding_l2);
+    }
+    s.threads.push_back(th);
+  }
+  series_.add(std::move(s));
 }
 
 void SmtCore::refresh_audit_ctx() {
@@ -884,6 +1058,10 @@ void SmtCore::reset_measurement() {
   mem_.l1d().stats().reset();
   mem_.l2().stats().reset();
   mem_.channel().stats().reset();
+  // Drop warmup-era samples; next_sample_ keeps its absolute alignment so the
+  // measured series stays on the same cycle grid regardless of warmup length.
+  series_.reset();
+  profiler_.reset();
 }
 
 RunResult SmtCore::run(u64 commit_target, u64 max_cycles, u64 warmup_insts) {
@@ -900,6 +1078,7 @@ RunResult SmtCore::run(u64 commit_target, u64 max_cycles, u64 warmup_insts) {
     reset_measurement();
   }
   while (cycle_ < max_cycles && fastest_measured() < commit_target) step(max_cycles);
+  flush_chrome_trace();
   return snapshot_result();
 }
 
@@ -918,6 +1097,7 @@ RunResult SmtCore::snapshot_result() const {
   }
   r.dod_true = dod_true_;
   r.dod_proxy = dod_proxy_;
+  r.samples = series_;
 
   auto merge = [&r](const std::string& prefix, const StatGroup& g) {
     for (const auto& [name, c] : g.counters_map()) r.counters[prefix + name] = c.value();

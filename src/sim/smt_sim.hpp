@@ -31,6 +31,9 @@
 #include "branch/load_hit_predictor.hpp"
 #include "branch/predictor.hpp"
 #include "common/ring_deque.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/interval_sampler.hpp"
+#include "obs/self_profile.hpp"
 #include "memory/memory_system.hpp"
 #include "pipeline/dcra.hpp"
 #include "pipeline/fetch_policy.hpp"
@@ -85,6 +88,29 @@ class SmtCore {
   PipelineTracer& tracer() { return tracer_; }
   const MachineConfig& config() const { return cfg_; }
   const EventWheel& event_wheel() const { return wheel_; }
+
+  /// Attaches a Chrome trace-event writer (nullptr detaches). Unlike the
+  /// text tracer this does not pin the core to cycle-by-cycle execution:
+  /// every span edge and instant happens in a state-changing tick, which
+  /// the idle-cycle fast-forward never skips (obs/chrome_trace.hpp).
+  void attach_chrome_trace(obs::ChromeTraceWriter* writer);
+
+  /// Closes any still-open second-level tenure into the attached Chrome
+  /// trace (span end = the current cycle) without disturbing the live
+  /// grant; run() calls this at exit so traces never end with a dangling
+  /// allocation.
+  void flush_chrome_trace();
+
+  /// Interval-telemetry series recorded so far (empty unless
+  /// cfg.telemetry.sample_interval is nonzero).
+  const obs::IntervalSeries& samples() const { return series_; }
+
+  /// Host self-profiler (active when cfg.telemetry.profile).
+  const obs::SelfProfiler& profiler() const { return profiler_; }
+
+  /// Ticks actually executed (cycle_ minus fast-forwarded ones) — the
+  /// denominator for the profiler's ns/cycle column.
+  u64 executed_cycles() const { return cycle_ - fast_forwarded_; }
 
   /// Cycles run() skipped via idle fast-forward (diagnostics; counted in
   /// cycle_ exactly as if they had been ticked).
@@ -149,7 +175,15 @@ class SmtCore {
   bool do_early_release();
 
   /// One tick; returns true iff any stage (or the ROB controller) acted.
-  bool tick_once();
+  /// The template parameter selects host self-profiling: <true> brackets
+  /// each stage with steady_clock reads feeding profiler_, <false> compiles
+  /// to the bare stage sequence (the two share one body via if constexpr,
+  /// so they cannot drift apart).
+  template <bool Profiled>
+  bool tick_impl();
+  bool tick_once() { return tick_impl<false>(); }
+  /// tick_impl dispatch on the profiler flag (checked once per tick).
+  bool tick_dispatch();
   /// tick_once() plus, when the cycle was provably idle and neither the
   /// auditor nor a tracer needs to see every cycle, a jump to the next cycle
   /// anything can happen at (bounded by `limit`), with the per-cycle stall
@@ -170,6 +204,15 @@ class SmtCore {
   void undispatch_after(ThreadId tid, u64 tseq);
   void drop_outstanding_counts(DynInst& di);
   void refresh_audit_ctx();
+  /// Captures one interval sample labelled `label` from the current state
+  /// (also called from step()'s fast-forward replay, where the quiescent
+  /// state is exactly the state every skipped cycle saw).
+  void record_sample(Cycle label);
+  /// Observes second-level ownership transitions for the Chrome trace's
+  /// grant-lifecycle spans and the text tracer's grant notes. Called at the
+  /// end of a tick only while an observer is attached; transitions can only
+  /// happen in state-changing ticks, which are never fast-forwarded.
+  void poll_second_level();
   bool fetch_one(ThreadState& ts, ThreadId tid);
   DynInst make_correct_path_inst(ThreadState& ts, ThreadId tid);
   DynInst make_wrong_path_inst(ThreadState& ts, ThreadId tid);
@@ -216,6 +259,20 @@ class SmtCore {
   PipelineTracer tracer_;
   Histogram dod_true_{31};
   Histogram dod_proxy_{31};
+
+  // Observability (src/obs). All off by default: sample_every_ == 0 makes
+  // the per-tick sampler test one short-circuited compare, trace_ == nullptr
+  // skips every event hook, and the profiler gates tick_impl selection.
+  obs::ChromeTraceWriter* trace_ = nullptr;
+  obs::IntervalSeries series_;
+  Cycle sample_every_ = 0;
+  Cycle next_sample_ = 0;
+  obs::SelfProfiler profiler_;
+  // Second-level tenure being observed by poll_second_level().
+  ThreadId sl_owner_ = SecondLevelRob::kNoOwner;
+  Cycle sl_acquired_ = 0;
+  u64 sl_allocs_ = 0;
+  u64 sl_trigger_ = 0;
 
   InvariantChecker auditor_;
   AuditContext audit_ctx_;  // stable pointers into the members above

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <ostream>
+#include <string>
 
 #include "common/types.hpp"
 #include "isa/opcode.hpp"
@@ -43,9 +44,20 @@ class PipelineTracer {
   }
 
   /// Free-form machine-level note (squash extents, partition grants, ...).
+  /// Prefer note_if at call sites whose message needs std::string
+  /// construction — this overload's argument is built even when the tracer
+  /// is detached or outside its window.
   void note(Cycle now, const std::string& text) {
     if (!active(now)) return;
     *os_ << now << " -- " << text << "\n";
+  }
+
+  /// Lazy note: `build` (any callable returning something streamable into
+  /// note()) runs only when the tracer is active on `now`, so hot paths pay
+  /// nothing for message formatting on the millions of untraced cycles.
+  template <typename F>
+  void note_if(Cycle now, F&& build) {
+    if (active(now)) note(now, build());
   }
 
  private:

@@ -135,6 +135,48 @@ TEST(Histogram, MergeRejectsMismatchedWidth) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h(15);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0u);
+  EXPECT_EQ(h.percentile(100.0), 0u);
+}
+
+TEST(Histogram, PercentileSingleBucket) {
+  Histogram h(15);
+  h.record(7);
+  h.record(7);
+  h.record(7);
+  // Every rank lands in the one occupied bucket; out-of-range p is clamped.
+  EXPECT_EQ(h.percentile(0.0), 7u);
+  EXPECT_EQ(h.percentile(50.0), 7u);
+  EXPECT_EQ(h.percentile(100.0), 7u);
+  EXPECT_EQ(h.percentile(-5.0), 7u);
+  EXPECT_EQ(h.percentile(250.0), 7u);
+}
+
+TEST(Histogram, PercentileNearestRank) {
+  Histogram h(15);
+  for (u32 v = 1; v <= 10; ++v) h.record(v);  // one sample each of 1..10
+  // Nearest-rank: p50 of 10 samples is the 5th smallest, p90 the 9th.
+  EXPECT_EQ(h.percentile(50.0), 5u);
+  EXPECT_EQ(h.percentile(90.0), 9u);
+  EXPECT_EQ(h.percentile(100.0), 10u);
+  EXPECT_EQ(h.percentile(10.0), 1u);
+}
+
+TEST(Histogram, PercentileSaturatingLastBucket) {
+  Histogram h(7);  // values clamp into bucket 7
+  h.record(3);
+  h.record(100);
+  h.record(200);
+  // The saturating bucket reports the histogram's max representable value,
+  // not the unclamped inputs.
+  EXPECT_EQ(h.percentile(100.0), h.max_value());
+  EXPECT_EQ(h.percentile(100.0), 7u);
+  EXPECT_EQ(h.percentile(10.0), 3u);
+}
+
 TEST(Options, ParsesKeyValueAndFlags) {
   const char* argv[] = {"prog", "insts=5000", "--scheme=rrob", "--verbose", "mix3"};
   const Options o = Options::from_args(5, argv);

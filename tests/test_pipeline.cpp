@@ -232,6 +232,37 @@ TEST(PipelineTracer, WindowEdgesAreHalfOpen) {
   EXPECT_FALSE(tracer.active(150));
 }
 
+// note_if must not evaluate its message builder unless the tracer is active
+// at that cycle — that laziness is the whole point of the facility (hot-path
+// call sites would otherwise build std::strings on millions of untraced
+// cycles).
+TEST(PipelineTracer, NoteIfIsLazy) {
+  PipelineTracer tracer;
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::string("expensive message");
+  };
+
+  // Detached: builder must not run.
+  tracer.note_if(50, build);
+  EXPECT_EQ(builds, 0);
+
+  std::ostringstream log;
+  tracer.attach(&log, /*start=*/100, /*end=*/200);
+
+  // Attached but outside the window: still no build.
+  tracer.note_if(99, build);
+  tracer.note_if(200, build);
+  EXPECT_EQ(builds, 0);
+  EXPECT_EQ(log.str(), "");
+
+  // Inside the window: built exactly once and printed.
+  tracer.note_if(150, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(log.str(), "150 -- expensive message\n");
+}
+
 StaticInst mem_op(OpClass op) {
   StaticInst si;
   si.op = op;

@@ -22,10 +22,29 @@ import sys
 METRIC = "sim_cycles/s"
 
 
+def usage_error(msg):
+    """Exit 2 (usage/format error) with a one-line diagnostic, no traceback."""
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path, what):
+    """Load a JSON file, exiting 2 with a one-line diagnostic (no traceback)
+    when it is missing, unreadable, or not JSON."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        usage_error(f"error: cannot read {what} {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        usage_error(f"error: {what} {path} is not valid JSON: {e}")
+
+
 def load_current(path):
     """Map benchmark name -> sim_cycles/s, preferring median aggregates."""
-    with open(path) as f:
-        data = json.load(f)
+    data = load_json(path, "current-run file")
+    if not isinstance(data, dict):
+        usage_error(f"error: current-run file {path} is not a JSON object")
     medians = {}
     singles = {}
     for row in data.get("benchmarks", []):
@@ -53,11 +72,17 @@ def main():
     )
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    baseline = load_json(args.baseline, "baseline file")
+    if not isinstance(baseline, dict):
+        print(f"error: baseline file {args.baseline} is not a JSON object", file=sys.stderr)
+        return 2
     history = baseline.get("history", [])
     if not history:
-        print(f"error: {args.baseline} has no history entries", file=sys.stderr)
+        print(
+            f"error: {args.baseline} has no history entries "
+            "(record a baseline before checking against one)",
+            file=sys.stderr,
+        )
         return 2
     newest = history[-1]
     tolerance = args.tolerance if args.tolerance is not None else baseline.get("tolerance_pct", 20)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for check_bench_regression.py.
+
+Runs the checker as a subprocess against synthetic baseline/current files and
+asserts the documented contract: 0 = pass, 1 = regression, 2 = usage/format
+error — and that format errors produce a one-line diagnostic, never a Python
+traceback. Registered with ctest as `check_bench_regression_py`.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)), "check_bench_regression.py")
+
+BASELINE_OK = {
+    "tolerance_pct": 20,
+    "history": [
+        {
+            "label": "seed",
+            "date": "2026-01-01",
+            "benchmarks": {"BM_sim_speed/mix1": 1000000.0},
+        }
+    ],
+}
+
+
+def current_json(rate):
+    return {
+        "benchmarks": [
+            {"name": "BM_sim_speed/mix1", "run_type": "iteration", "sim_cycles/s": rate}
+        ]
+    }
+
+
+def write(tmp, name, content):
+    path = os.path.join(tmp, name)
+    with open(path, "w") as f:
+        if isinstance(content, str):
+            f.write(content)
+        else:
+            json.dump(content, f)
+    return path
+
+
+def run(baseline, current):
+    proc = subprocess.run(
+        [sys.executable, CHECKER, "--baseline", baseline, "--current", current],
+        capture_output=True,
+        text=True,
+    )
+    return proc
+
+
+failures = []
+
+
+def check(label, proc, want_code):
+    ok = proc.returncode == want_code and "Traceback" not in proc.stderr
+    status = "ok" if ok else f"FAIL (exit {proc.returncode}, wanted {want_code})"
+    print(f"  {label:44s} {status}")
+    if not ok:
+        failures.append(label)
+        sys.stderr.write(proc.stderr)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        good_base = write(tmp, "base.json", BASELINE_OK)
+        good_cur = write(tmp, "cur_ok.json", current_json(990000.0))
+        slow_cur = write(tmp, "cur_slow.json", current_json(100000.0))
+        empty_hist = write(tmp, "base_empty.json", {"tolerance_pct": 20, "history": []})
+        no_rows = write(tmp, "cur_norows.json", {"benchmarks": [{"name": "x"}]})
+        not_json = write(tmp, "garbage.json", "this is not json {")
+        missing = os.path.join(tmp, "does_not_exist.json")
+
+        print("check_bench_regression.py exit-code contract:")
+        check("within tolerance -> 0", run(good_base, good_cur), 0)
+        check("regression -> 1", run(good_base, slow_cur), 1)
+        check("empty baseline history -> 2", run(empty_hist, good_cur), 2)
+        check("current without metric rows -> 2", run(good_base, no_rows), 2)
+        check("malformed baseline JSON -> 2", run(not_json, good_cur), 2)
+        check("malformed current JSON -> 2", run(good_base, not_json), 2)
+        check("missing baseline file -> 2", run(missing, good_cur), 2)
+        check("missing current file -> 2", run(good_base, missing), 2)
+
+    if failures:
+        print(f"FAIL: {len(failures)} case(s): {', '.join(failures)}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+// tlrob-trace — one-stop telemetry capture: runs a single configuration /
+// mix and writes the full observability bundle (Chrome trace-event JSON for
+// ui.perfetto.dev, the interval-sample series as JSON lines and/or CSV, and
+// the host self-profile), without wading through the simulate driver's
+// statistic dump.
+//
+//   tlrob-trace mix=2 scheme=rrob threshold=16 out=trace.json
+//   tlrob-trace mix=1 sample=500 samples=series.jsonl csv=series.csv
+//
+// Options (key=value / --key value, as everywhere in this repo):
+//   mix=N / positional bench names   workload (default mix=1)
+//   out=PATH       Chrome trace JSON (default trace.json; "-" = stdout)
+//   samples=PATH   interval series, JSON lines
+//   csv=PATH       interval series, CSV
+//   sample=N       sampling period in cycles (default 1000)
+//   profile=0|1    host self-profile to stderr (default 1)
+//   insts= / warmup= / max_cycles= and all sim/config_override.hpp machine
+//   knobs (scheme=, threshold=, policy=, rob1=, rob2=, ...) apply.
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "obs/chrome_trace.hpp"
+#include "sim/config_override.hpp"
+#include "sim/experiment.hpp"
+#include "workload/spec_profiles.hpp"
+
+using namespace tlrob;
+
+namespace {
+
+bool write_to(const std::string& path, const char* what,
+              const std::function<void(std::ostream&)>& emit) {
+  if (path == "-") {
+    emit(std::cout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s sink '%s'\n", what, path.c_str());
+    return false;
+  }
+  emit(out);
+  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::from_args(argc, argv);
+
+  std::vector<Benchmark> benches;
+  if (opts.has("mix")) {
+    benches = mix_benchmarks(table2_mix(static_cast<u32>(opts.get_u64("mix", 1))));
+  } else {
+    for (const std::string& name : opts.positional()) {
+      if (!is_spec_benchmark(name)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+        return 2;
+      }
+      benches.push_back(spec_benchmark(name));
+    }
+  }
+  if (benches.empty()) benches = mix_benchmarks(table2_mix(1));
+
+  MachineConfig cfg;
+  cfg.num_threads = static_cast<u32>(benches.size());
+  cfg = apply_overrides(cfg, opts);
+  while (benches.size() < cfg.num_threads) benches.push_back(benches.back());
+  if (benches.size() > cfg.num_threads) benches.resize(cfg.num_threads);
+
+  cfg.telemetry.sample_interval = opts.get_u64("sample", 1000);
+  cfg.telemetry.profile = opts.get_bool("profile", true);
+
+  const u64 insts = opts.get_u64("insts", 120000);
+  const u64 warmup = opts.get_u64("warmup", 60000);
+
+  SmtCore core(cfg, benches);
+  obs::ChromeTraceWriter chrome;
+  core.attach_chrome_trace(&chrome);
+  const RunResult r = core.run(insts, opts.get_u64("max_cycles", 0), warmup);
+
+  std::fprintf(stderr, "%llu cycles, %zu samples, %zu trace events\n",
+               static_cast<unsigned long long>(r.cycles), r.samples.size(),
+               chrome.event_count());
+
+  bool ok = write_to(opts.get("out", "trace.json"), "Chrome trace",
+                     [&](std::ostream& os) { chrome.write(os); });
+  if (opts.has("samples"))
+    ok &= write_to(opts.get("samples"), "sample series (JSONL)",
+                   [&](std::ostream& os) { r.samples.write_jsonl(os); });
+  if (opts.has("csv"))
+    ok &= write_to(opts.get("csv"), "sample series (CSV)",
+                   [&](std::ostream& os) { r.samples.write_csv(os); });
+  if (cfg.telemetry.profile) core.profiler().print(std::cerr, core.executed_cycles());
+  return ok ? 0 : 1;
+}
