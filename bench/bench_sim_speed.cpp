@@ -58,6 +58,29 @@ void BM_FourThreadMixTwoLevel(benchmark::State& state) {
 }
 BENCHMARK(BM_FourThreadMixTwoLevel)->Unit(benchmark::kMillisecond);
 
+// Cache-hierarchy stress: four low-locality memory-hostile threads (pointer
+// chases and random gathers) whose combined footprint defeats the L2, so the
+// run spends its time in the cache probe/fill/MSHR/memory-channel path and a
+// regression there moves this number even when the compute-heavy benches
+// stay flat. High L2 MPKI by construction — every thread misses the L2 for
+// most of its loads.
+void BM_CacheHierarchyStress(benchmark::State& state) {
+  u64 insts = 0, cycles = 0;
+  for (auto _ : state) {
+    SmtCore core(two_level_config(RobScheme::kReactive, 16),
+                 {spec_benchmark("mcf"), spec_benchmark("art"),
+                  spec_benchmark("equake"), spec_benchmark("lucas")});
+    const RunResult r = core.run(10000);
+    for (const auto& t : r.threads) insts += t.committed;
+    cycles += r.cycles;
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheHierarchyStress)->Unit(benchmark::kMillisecond);
+
 // Invariant-audit overhead: the four-thread two-level mix with the auditor
 // at each level, explicitly overriding any $TLROB_AUDIT ambient setting so
 // the three variants measure exactly what their names say. The cheap tier is

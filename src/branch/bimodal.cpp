@@ -9,13 +9,4 @@ BimodalTable::BimodalTable(u32 entries) : table_(entries, 2) {
     throw std::invalid_argument("BimodalTable size must be a power of two");
 }
 
-void BimodalTable::update(u64 index, bool taken) {
-  u8& c = table_[mask(index)];
-  if (taken) {
-    if (c < 3) ++c;
-  } else {
-    if (c > 0) --c;
-  }
-}
-
 }  // namespace tlrob

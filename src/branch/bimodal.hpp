@@ -14,7 +14,18 @@ class BimodalTable {
   explicit BimodalTable(u32 entries);
 
   bool predict(u64 index) const { return table_[mask(index)] >= 2; }
-  void update(u64 index, bool taken);
+
+  // Inline: trained on every resolved conditional branch and every load
+  // (via the load-hit predictor), so the saturating-counter nudge must not
+  // pay a call.
+  void update(u64 index, bool taken) {
+    u8& c = table_[mask(index)];
+    if (taken) {
+      if (c < 3) ++c;
+    } else {
+      if (c > 0) --c;
+    }
+  }
 
   u32 size() const { return static_cast<u32>(table_.size()); }
   u8 counter(u64 index) const { return table_[mask(index)]; }

@@ -10,47 +10,39 @@ Btb::Btb(u32 entries, u32 ways) : ways_(ways) {
   sets_ = entries / ways;
   if ((sets_ & (sets_ - 1)) != 0)
     throw std::invalid_argument("Btb: set count must be a power of two");
-  entries_.resize(entries);
-}
-
-std::optional<Addr> Btb::lookup(ThreadId tid, Addr pc) {
-  const u64 set = set_of(pc);
-  const u64 tag = tag_of(tid, pc);
-  for (u32 w = 0; w < ways_; ++w) {
-    Entry& e = entries_[set * ways_ + w];
-    if (e.valid && e.tag == tag) {
-      e.lru = ++stamp_;
-      return e.target;
-    }
-  }
-  return std::nullopt;
+  set_shift_ = 0;
+  while ((sets_ >> set_shift_) > 1) ++set_shift_;
+  valid_.assign(entries, 0);
+  tags_.assign(entries, 0);
+  targets_.assign(entries, 0);
+  lru_.assign(entries, 0);
 }
 
 void Btb::update(ThreadId tid, Addr pc, Addr target) {
-  const u64 set = set_of(pc);
+  const u32 base = static_cast<u32>(set_of(pc) * ways_);
   const u64 tag = tag_of(tid, pc);
   ++stamp_;
   for (u32 w = 0; w < ways_; ++w) {
-    Entry& e = entries_[set * ways_ + w];
-    if (e.valid && e.tag == tag) {
-      e.target = target;
-      e.lru = stamp_;
+    const u32 i = base + w;
+    if (valid_[i] != 0 && tags_[i] == tag) {
+      targets_[i] = target;
+      lru_[i] = stamp_;
       return;
     }
   }
-  Entry* victim = &entries_[set * ways_];
+  u32 victim = base;
   for (u32 w = 0; w < ways_; ++w) {
-    Entry& e = entries_[set * ways_ + w];
-    if (!e.valid) {
-      victim = &e;
+    const u32 i = base + w;
+    if (valid_[i] == 0) {
+      victim = i;
       break;
     }
-    if (e.lru < victim->lru) victim = &e;
+    if (lru_[i] < lru_[victim]) victim = i;
   }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->target = target;
-  victim->lru = stamp_;
+  valid_[victim] = 1;
+  tags_[victim] = tag;
+  targets_[victim] = target;
+  lru_[victim] = stamp_;
 }
 
 }  // namespace tlrob

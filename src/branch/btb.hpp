@@ -1,4 +1,8 @@
 // Branch target buffer (Table 1: 2048-entry, 2-way set-associative).
+//
+// Stored structure-of-arrays with masked/shifted indexing: lookup() runs on
+// every fetched control instruction, so the way-scan touches only the dense
+// tag and valid columns (targets and recency stamps are read on a hit).
 #pragma once
 
 #include <optional>
@@ -15,7 +19,18 @@ class Btb {
   /// Returns the cached target for `pc`, if any, refreshing its recency.
   /// Tags include the thread id so that coexisting threads (whose PCs live
   /// in disjoint address spaces anyway) never alias destructively.
-  std::optional<Addr> lookup(ThreadId tid, Addr pc);
+  std::optional<Addr> lookup(ThreadId tid, Addr pc) {
+    const u32 base = static_cast<u32>(set_of(pc) * ways_);
+    const u64 tag = tag_of(tid, pc);
+    for (u32 w = 0; w < ways_; ++w) {
+      const u32 i = base + w;
+      if (valid_[i] != 0 && tags_[i] == tag) {
+        lru_[i] = ++stamp_;
+        return targets_[i];
+      }
+    }
+    return std::nullopt;
+  }
 
   /// Installs/refreshes the mapping pc -> target (LRU within the set).
   void update(ThreadId tid, Addr pc, Addr target);
@@ -24,21 +39,19 @@ class Btb {
   u32 ways() const { return ways_; }
 
  private:
-  struct Entry {
-    bool valid = false;
-    u64 tag = 0;
-    Addr target = 0;
-    u64 lru = 0;  // last-touch stamp
-  };
-
   u64 set_of(Addr pc) const { return (pc >> 2) & (sets_ - 1); }
   u64 tag_of(ThreadId tid, Addr pc) const {
-    return ((pc >> 2) / sets_) << 3 | (tid & 0x7);
+    return ((pc >> 2) >> set_shift_) << 3 | (tid & 0x7);
   }
 
   u32 sets_;
   u32 ways_;
-  std::vector<Entry> entries_;  // sets_ * ways_, set-major
+  u32 set_shift_;  // log2(sets)
+  // Structure-of-arrays entry state, set-major ([set * ways + way]).
+  std::vector<u8> valid_;
+  std::vector<u64> tags_;
+  std::vector<Addr> targets_;
+  std::vector<u64> lru_;  // last-touch stamp
   u64 stamp_ = 0;
 };
 

@@ -8,26 +8,4 @@ Gshare::Gshare(u32 pht_entries, u32 history_bits, u32 num_threads)
       history_mask_(static_cast<u16>((1u << history_bits) - 1)),
       histories_(num_threads, 0) {}
 
-u64 Gshare::index(Addr pc, u16 history) const {
-  return (pc >> 2) ^ history;
-}
-
-Gshare::Prediction Gshare::predict(ThreadId tid, Addr pc) {
-  u16& h = histories_[tid];
-  Prediction p;
-  p.history_before = h;
-  p.taken = pht_.predict(index(pc, h));
-  h = static_cast<u16>(((h << 1) | (p.taken ? 1 : 0)) & history_mask_);
-  return p;
-}
-
-void Gshare::update(Addr pc, u16 history_at_predict, bool taken) {
-  pht_.update(index(pc, history_at_predict), taken);
-}
-
-void Gshare::recover(ThreadId tid, u16 history_before_branch, bool actual_taken) {
-  histories_[tid] = static_cast<u16>(
-      ((history_before_branch << 1) | (actual_taken ? 1 : 0)) & history_mask_);
-}
-
 }  // namespace tlrob

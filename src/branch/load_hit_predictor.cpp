@@ -7,13 +7,4 @@ LoadHitPredictor::LoadHitPredictor(u32 entries, u32 history_bits, u32 num_thread
       history_mask_((1u << history_bits) - 1),
       histories_(num_threads, 0) {}
 
-bool LoadHitPredictor::predict(ThreadId tid, Addr pc) const {
-  return table_.predict(index(tid, pc));
-}
-
-void LoadHitPredictor::update(ThreadId tid, Addr pc, bool hit) {
-  table_.update(index(tid, pc), hit);
-  histories_[tid] = ((histories_[tid] << 1) | (hit ? 1 : 0)) & history_mask_;
-}
-
 }  // namespace tlrob

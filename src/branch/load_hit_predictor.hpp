@@ -17,11 +17,15 @@ class LoadHitPredictor {
  public:
   LoadHitPredictor(u32 entries, u32 history_bits, u32 num_threads);
 
-  /// Predicted "will hit L1" for the load at `pc`.
-  bool predict(ThreadId tid, Addr pc) const;
+  /// Predicted "will hit L1" for the load at `pc`. Inline along with
+  /// update(): both run on every issued load.
+  bool predict(ThreadId tid, Addr pc) const { return table_.predict(index(tid, pc)); }
 
   /// Trains with the actual outcome and shifts it into the thread history.
-  void update(ThreadId tid, Addr pc, bool hit);
+  void update(ThreadId tid, Addr pc, bool hit) {
+    table_.update(index(tid, pc), hit);
+    histories_[tid] = ((histories_[tid] << 1) | (hit ? 1 : 0)) & history_mask_;
+  }
 
  private:
   u64 index(ThreadId tid, Addr pc) const {

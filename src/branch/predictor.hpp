@@ -60,6 +60,14 @@ class BranchPredictor {
   Btb btb_;
   std::vector<ReturnAddressStack> ras_;
   StatGroup stats_;
+  // Cached stat handles (StatGroup map nodes are address-stable); predict()
+  // runs per fetched control op and train() per resolved one, so the
+  // string-keyed lookups were measurable. Declared after stats_.
+  Counter* cnt_btb_hits_;
+  Counter* cnt_cond_;
+  Counter* cnt_cond_mispredict_;
+  Counter* cnt_returns_;
+  Counter* cnt_ras_mispredict_;
 };
 
 }  // namespace tlrob

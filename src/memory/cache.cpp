@@ -1,8 +1,18 @@
 #include "memory/cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tlrob {
+namespace {
+
+u32 log2_pow2(u64 v) {
+  u32 s = 0;
+  while ((v >> s) > 1) ++s;
+  return s;
+}
+
+}  // namespace
 
 Cache::Cache(std::string name, const CacheGeometry& geo) : name_(std::move(name)), geo_(geo) {
   if (geo.line_bytes == 0 || (geo.line_bytes & (geo.line_bytes - 1)) != 0)
@@ -13,7 +23,13 @@ Cache::Cache(std::string name, const CacheGeometry& geo) : name_(std::move(name)
   sets_ = static_cast<u32>(lines / geo.ways);
   if ((sets_ & (sets_ - 1)) != 0)
     throw std::invalid_argument(name_ + ": set count must be a power of two");
-  lines_.resize(lines);
+  line_shift_ = log2_pow2(geo.line_bytes);
+  set_shift_ = log2_pow2(sets_);
+  set_mask_ = sets_ - 1;
+  tags_.assign(lines, 0);
+  ready_at_.assign(lines, 0);
+  lru_.assign(lines, 0);
+  flags_.assign(lines, 0);
   cnt_accesses_ = &stats_.counter("accesses");
   cnt_misses_ = &stats_.counter("misses");
   cnt_mshr_merges_ = &stats_.counter("mshr_merges");
@@ -21,74 +37,47 @@ Cache::Cache(std::string name, const CacheGeometry& geo) : name_(std::move(name)
   cnt_evictions_ = &stats_.counter("evictions");
 }
 
-Cache::Line* Cache::find(Addr addr) {
-  const u64 set = set_of(addr);
-  const u64 tag = tag_of(addr);
-  for (u32 w = 0; w < geo_.ways; ++w) {
-    Line& l = lines_[set * geo_.ways + w];
-    if (l.valid && l.tag == tag) return &l;
-  }
-  return nullptr;
-}
-
-Cache::Probe Cache::probe(Addr addr, Cycle now) {
-  cnt_accesses_->inc();
-  Probe p;
-  if (Line* l = find(addr)) {
-    p.present = true;
-    p.ready_at = l->ready_at;
-    p.fill_from_memory = l->fill_from_memory;
-    l->lru = ++stamp_;
-    if (l->ready_at > now) cnt_mshr_merges_->inc();
-  } else {
-    cnt_misses_->inc();
-  }
-  return p;
-}
-
 bool Cache::fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty) {
   if (evicted_dirty) *evicted_dirty = false;
-  const u64 set = set_of(addr);
-  const u64 tag = tag_of(addr);
 
-  if (Line* l = find(addr)) {  // refresh an existing/in-flight line
-    l->ready_at = std::max(l->ready_at, ready_at);
+  const u32 hit = find(addr);
+  if (hit != kNotFound) {  // refresh an existing/in-flight line
+    ready_at_[hit] = std::max(ready_at_[hit], ready_at);
     return true;
   }
 
   // Victimise the LRU line whose fill has completed; in-flight lines are
   // locked. If every way is in flight, the access bypasses this level.
-  Line* victim = nullptr;
+  const u32 base = static_cast<u32>(set_of(addr) * geo_.ways);
+  u32 victim = kNotFound;
   for (u32 w = 0; w < geo_.ways; ++w) {
-    Line& l = lines_[set * geo_.ways + w];
-    if (!l.valid) {
-      victim = &l;
+    const u32 i = base + w;
+    if ((flags_[i] & kValid) == 0) {
+      victim = i;
       break;
     }
-    if (l.ready_at > now) continue;
-    if (victim == nullptr || l.lru < victim->lru) victim = &l;
+    if (ready_at_[i] > now) continue;
+    if (victim == kNotFound || lru_[i] < lru_[victim]) victim = i;
   }
-  if (victim == nullptr) {
+  if (victim == kNotFound) {
     cnt_fill_bypass_->inc();
     return false;
   }
-  if (victim->valid && victim->dirty && evicted_dirty) *evicted_dirty = true;
-  if (victim->valid) cnt_evictions_->inc();
-  victim->valid = true;
-  victim->tag = tag;
-  victim->ready_at = ready_at;
-  victim->dirty = false;
-  victim->fill_from_memory = from_memory;
-  victim->lru = ++stamp_;
+  const u8 vf = flags_[victim];
+  if ((vf & kValid) != 0 && (vf & kDirty) != 0 && evicted_dirty) *evicted_dirty = true;
+  if ((vf & kValid) != 0) cnt_evictions_->inc();
+  tags_[victim] = tag_of(addr);
+  ready_at_[victim] = ready_at;
+  flags_[victim] = static_cast<u8>(kValid | (from_memory ? kFromMemory : 0));
+  lru_[victim] = ++stamp_;
   return true;
 }
 
-void Cache::mark_dirty(Addr addr) {
-  if (Line* l = find(addr)) l->dirty = true;
-}
-
 void Cache::clear() {
-  for (auto& l : lines_) l = Line{};
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(ready_at_.begin(), ready_at_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  std::fill(flags_.begin(), flags_.end(), 0);
   stamp_ = 0;
 }
 

@@ -8,6 +8,12 @@
 // preserving the properties the paper's mechanism depends on — overlapping
 // misses, secondary-miss merging, and the visibility of "this access had to
 // go to memory".
+//
+// Storage is structure-of-arrays: the way-scan in find() only touches the
+// tag and flag arrays, so a probe pulls one or two cache lines of host
+// memory instead of striding across fat per-line records; ready_at/lru are
+// read only on a match. Set and tag extraction are pure shifts (geometry is
+// validated to powers of two at construction).
 #pragma once
 
 #include <string>
@@ -35,8 +41,24 @@ class Cache {
     bool fill_from_memory = false;  // in-flight fill originates at DRAM
   };
 
-  /// Tag lookup at cycle `now`; touches LRU on a match.
-  Probe probe(Addr addr, Cycle now);
+  /// Tag lookup at cycle `now`; touches LRU on a match. Defined inline:
+  /// this is the hottest call in the memory system (every access, every
+  /// level), and the hit path must not pay a call.
+  Probe probe(Addr addr, Cycle now) {
+    cnt_accesses_->inc();
+    Probe p;
+    const u32 i = find(addr);
+    if (i != kNotFound) {
+      p.present = true;
+      p.ready_at = ready_at_[i];
+      p.fill_from_memory = (flags_[i] & kFromMemory) != 0;
+      lru_[i] = ++stamp_;
+      if (p.ready_at > now) cnt_mshr_merges_->inc();
+    } else {
+      cnt_misses_->inc();
+    }
+    return p;
+  }
 
   /// Installs `addr`'s line with data arriving at `ready_at`. Returns true
   /// if a line was allocated; false when every way of the set holds an
@@ -45,7 +67,10 @@ class Cache {
   bool fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty);
 
   /// Marks the line dirty (stores). No-op if absent.
-  void mark_dirty(Addr addr);
+  void mark_dirty(Addr addr) {
+    const u32 i = find(addr);
+    if (i != kNotFound) flags_[i] |= kDirty;
+  }
 
   /// Invalidates everything (used between experiment phases).
   void clear();
@@ -56,23 +81,38 @@ class Cache {
   StatGroup& stats() { return stats_; }
 
  private:
-  struct Line {
-    bool valid = false;
-    u64 tag = 0;
-    Cycle ready_at = 0;
-    bool dirty = false;
-    bool fill_from_memory = false;
-    u64 lru = 0;
-  };
+  static constexpr u32 kNotFound = ~0u;
+  static constexpr u8 kValid = 1;
+  static constexpr u8 kDirty = 2;
+  static constexpr u8 kFromMemory = 4;
 
-  u64 set_of(Addr addr) const { return (addr / geo_.line_bytes) & (sets_ - 1); }
-  u64 tag_of(Addr addr) const { return (addr / geo_.line_bytes) / sets_; }
-  Line* find(Addr addr);
+  u64 set_of(Addr addr) const { return (addr >> line_shift_) & set_mask_; }
+  u64 tag_of(Addr addr) const { return (addr >> line_shift_) >> set_shift_; }
+
+  /// Way-scan over the flat tag/flag arrays; returns the line's index into
+  /// the SoA columns, or kNotFound.
+  u32 find(Addr addr) const {
+    const u64 line = addr >> line_shift_;
+    const u32 base = static_cast<u32>((line & set_mask_) * geo_.ways);
+    const u64 tag = line >> set_shift_;
+    for (u32 w = 0; w < geo_.ways; ++w) {
+      const u32 i = base + w;
+      if ((flags_[i] & kValid) != 0 && tags_[i] == tag) return i;
+    }
+    return kNotFound;
+  }
 
   std::string name_;
   CacheGeometry geo_;
   u32 sets_;
-  std::vector<Line> lines_;
+  u32 line_shift_;  // log2(line_bytes)
+  u32 set_shift_;   // log2(sets)
+  u64 set_mask_;    // sets - 1
+  // Structure-of-arrays line state, set-major ([set * ways + way]).
+  std::vector<u64> tags_;
+  std::vector<Cycle> ready_at_;
+  std::vector<u64> lru_;   // last-touch stamp
+  std::vector<u8> flags_;  // kValid | kDirty | kFromMemory
   u64 stamp_ = 0;
   StatGroup stats_;
   // Cached stat handles (StatGroup map nodes are address-stable and reset()

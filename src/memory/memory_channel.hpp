@@ -7,7 +7,6 @@
 // with the diminishing returns the paper's MLP argument relies on.
 #pragma once
 
-#include <queue>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -50,12 +49,25 @@ class MemoryChannel {
   /// Drops completed fills and returns the earliest outstanding completion
   /// (or `when` if the MSHR pool has room).
   Cycle admit(Cycle when);
+  void push_done(Cycle done);
 
   MemoryChannelConfig cfg_;
   Cycle transfer_;
   Cycle bus_free_ = 0;
-  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> outstanding_;
+  // Outstanding fill completions, oldest at `head_`. Completion times are
+  // non-decreasing (every fill's `done` is at least `bus_free_`, which is
+  // the previous fill's `done`), so a plain FIFO ring is ordered by value:
+  // the front IS the earliest outstanding completion, and admit() is O(1)
+  // where the old priority queue paid a heap op per fill. The ring grows
+  // (rarely) because requests stalled on a full MSHR pool are still pushed,
+  // so occupancy transiently overshoots mshr_entries.
+  std::vector<Cycle> fifo_;  // capacity kept a power of two
+  u32 head_ = 0;
+  u32 count_ = 0;
   StatGroup stats_;
+  Counter* cnt_fills_;
+  Counter* cnt_writebacks_;
+  Counter* cnt_mshr_full_stalls_;
 };
 
 }  // namespace tlrob

@@ -15,6 +15,8 @@ const char* phase_name(Phase p) {
     case Phase::kController: return "controller";
     case Phase::kAudit: return "audit";
     case Phase::kSample: return "sample";
+    case Phase::kMemory: return "memory";
+    case Phase::kPredict: return "predict";
     case Phase::kCount: break;
   }
   return "unknown";

@@ -12,6 +12,12 @@
 // Attributed time deliberately excludes the fast-forward bookkeeping and
 // run()'s loop overhead; print() reports the residual against a caller-
 // measured wall time when one is provided.
+//
+// Two cross-cutting phases, kMemory and kPredict, time the memory-hierarchy
+// and predictor calls *inside* the pipeline stages; the enclosing stage's
+// measurement subtracts them, so the table still sums to the attributed
+// total and "is it the cache model or the issue logic" is answerable
+// directly from profile= output.
 #pragma once
 
 #include <array>
@@ -31,6 +37,8 @@ enum class Phase : u8 {
   kController,    // TwoLevelRobController::tick
   kAudit,         // invariant checks
   kSample,        // interval-sampler capture
+  kMemory,        // memory-hierarchy accesses (subtracted from the stage above)
+  kPredict,       // branch/load-hit predictor calls (likewise subtracted)
   kCount,
 };
 

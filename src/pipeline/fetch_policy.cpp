@@ -1,22 +1,27 @@
 #include "pipeline/fetch_policy.hpp"
 
-#include <algorithm>
-#include <numeric>
-
 #include "pipeline/dcra.hpp"
 
 namespace tlrob {
 namespace {
 
 /// ICOUNT ordering: fewest instructions in the front end + issue queue first
-/// (ties by thread id for determinism).
+/// (ties by thread id for determinism). Stable insertion sort: n is the
+/// thread count (<= 8) and this runs twice per executed tick, so the
+/// temporary-buffer std::stable_sort was measurable on the hot path.
 void icount_order(const std::vector<ThreadFetchView>& views, std::vector<ThreadId>& out) {
-  out.resize(views.size());
-  std::iota(out.begin(), out.end(), 0);
-  std::stable_sort(out.begin(), out.end(), [&](ThreadId a, ThreadId b) {
-    return views[a].frontend_count + views[a].iq_count <
-           views[b].frontend_count + views[b].iq_count;
-  });
+  const u32 n = static_cast<u32>(views.size());
+  out.resize(n);
+  for (u32 i = 0; i < n; ++i) {
+    const u32 key = views[i].frontend_count + views[i].iq_count;
+    u32 j = i;
+    for (; j > 0; --j) {
+      const ThreadId prev = out[j - 1];
+      if (views[prev].frontend_count + views[prev].iq_count <= key) break;
+      out[j] = prev;
+    }
+    out[j] = static_cast<ThreadId>(i);
+  }
 }
 
 class RoundRobinPolicy final : public FetchPolicy {

@@ -10,6 +10,10 @@ void LoadStoreQueue::push(DynInst* di) {
   assert(entries_.empty() || entries_.back()->tseq < di->tseq);
   entries_.push_back(std::move(di));
   di->lsq_allocated = true;
+  if (di->is_store()) {
+    stores_.push_back(static_cast<DynInst*>(di));
+    if (!di->addr_resolved) ++unresolved_stores_;
+  }
 }
 
 void LoadStoreQueue::pop(DynInst* di) {
@@ -17,15 +21,29 @@ void LoadStoreQueue::pop(DynInst* di) {
     throw std::logic_error("LoadStoreQueue::pop out of order");
   entries_.pop_front();
   di->lsq_allocated = false;
+  if (di->is_store()) {
+    stores_.pop_front();  // stores_ preserves entries_'s order, so front == di
+    if (!di->addr_resolved) note_store_resolved();
+  }
 }
 
 void LoadStoreQueue::test_only_drop_front() {
-  if (!entries_.empty()) entries_.pop_front();
+  if (entries_.empty()) return;
+  if (entries_.front()->is_store()) {
+    if (!stores_.front()->addr_resolved) note_store_resolved();
+    stores_.pop_front();
+  }
+  entries_.pop_front();
 }
 
 void LoadStoreQueue::squash_after(u64 tseq) {
   while (!entries_.empty() && entries_.back()->tseq > tseq) {
-    entries_.back()->lsq_allocated = false;
+    DynInst* e = entries_.back();
+    e->lsq_allocated = false;
+    if (e->is_store()) {
+      stores_.pop_back();
+      if (!e->addr_resolved) note_store_resolved();
+    }
     entries_.pop_back();
   }
 }
@@ -35,20 +53,11 @@ bool LoadStoreQueue::overlap(const DynInst& a, const DynInst& b) {
   return a.mem_addr < b.mem_addr + kAccessBytes && b.mem_addr < a.mem_addr + kAccessBytes;
 }
 
-bool LoadStoreQueue::older_stores_resolved(const DynInst& load) const {
-  for (u32 i = entries_.size(); i-- > 0;) {
-    const DynInst* e = entries_[i];
-    if (e->tseq >= load.tseq) continue;
-    if (e->is_store() && !e->addr_resolved) return false;
-  }
-  return true;
-}
-
 DynInst* LoadStoreQueue::forwarding_store(const DynInst& load) const {
-  for (u32 i = entries_.size(); i-- > 0;) {
-    DynInst* e = entries_[i];
+  for (u32 i = stores_.size(); i-- > 0;) {
+    DynInst* e = stores_[i];
     if (e->tseq >= load.tseq) continue;
-    if (e->is_store() && e->addr_resolved && overlap(*e, load)) return e;
+    if (e->addr_resolved && overlap(*e, load)) return e;
   }
   return nullptr;
 }

@@ -7,7 +7,10 @@
 //
 // Entries are pointers into the thread's ROB slab, held in a fixed ring
 // sized at the queue's capacity — the LSQ never allocates after
-// construction.
+// construction. Stores are additionally mirrored into a stores-only side
+// ring with an unresolved-address count, so the per-load disambiguation
+// checks scan only stores (or nothing at all when every older address is
+// known) instead of walking the whole queue.
 #pragma once
 
 #include "common/ring_deque.hpp"
@@ -17,7 +20,7 @@ namespace tlrob {
 
 class LoadStoreQueue {
  public:
-  explicit LoadStoreQueue(u32 entries) : entries_(entries) {}
+  explicit LoadStoreQueue(u32 entries) : entries_(entries), stores_(entries) {}
 
   bool has_free() const { return !entries_.full(); }
   u32 capacity() const { return entries_.capacity(); }
@@ -32,8 +35,23 @@ class LoadStoreQueue {
   /// Squash: drops every entry with tseq > `tseq`.
   void squash_after(u64 tseq);
 
+  /// Bookkeeping: the core issued `di` (a store in this queue) and resolved
+  /// its address. Must be called exactly once per resolution (the caller
+  /// guards against replayed stores, whose addresses stay resolved).
+  void note_store_resolved() {
+    if (unresolved_stores_ > 0) --unresolved_stores_;
+  }
+
   /// True if every store older than `load` has a resolved address.
-  bool older_stores_resolved(const DynInst& load) const;
+  bool older_stores_resolved(const DynInst& load) const {
+    if (unresolved_stores_ == 0) return true;
+    for (u32 i = stores_.size(); i-- > 0;) {
+      const DynInst* e = stores_[i];
+      if (e->tseq >= load.tseq) continue;
+      if (!e->addr_resolved) return false;
+    }
+    return true;
+  }
 
   /// Youngest older store whose address range overlaps the load's; nullptr
   /// if none. Only meaningful once older_stores_resolved().
@@ -54,6 +72,8 @@ class LoadStoreQueue {
   static bool overlap(const DynInst& a, const DynInst& b);
 
   RingDeque<DynInst*> entries_;  // program order (oldest at front)
+  RingDeque<DynInst*> stores_;   // the stores of entries_, same order
+  u32 unresolved_stores_ = 0;    // stores_ members with !addr_resolved
 };
 
 }  // namespace tlrob

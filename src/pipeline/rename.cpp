@@ -17,7 +17,7 @@ RenameUnit::RenameUnit(const RenameConfig& cfg) : cfg_(cfg) {
   state_.assign(total, RegState::kReady);
   spec_at_.assign(total, 0);
   readers_.assign(total, 0);
-  is_fp_phys_.assign(total, false);
+  is_fp_phys_.assign(total, 0);
   int_use_.assign(cfg.num_threads, 0);
   fp_use_.assign(cfg.num_threads, 0);
   free_int_.resize(pools);
@@ -25,19 +25,20 @@ RenameUnit::RenameUnit(const RenameConfig& cfg) : cfg_(cfg) {
 
   // Physical layout: per pool, the integer file then the FP file. The low
   // registers of each file hold the committed architectural state.
-  rat_.assign(cfg.num_threads, std::vector<PhysReg>(kNumArchRegs, kInvalidPhysReg));
+  rat_.assign(cfg.num_threads * kNumArchRegs, kInvalidPhysReg);
   for (u32 p = 0; p < pools; ++p) {
     const PhysReg int_base = p * (cfg.int_regs + cfg.fp_regs);
     const PhysReg fp_base = int_base + cfg.int_regs;
     for (PhysReg r = fp_base; r < int_base + cfg.int_regs + cfg.fp_regs; ++r)
-      is_fp_phys_[r] = true;
+      is_fp_phys_[r] = 1;
 
     u32 next_int = int_base;
     u32 next_fp = fp_base;
     for (u32 t = 0; t < cfg.num_threads; ++t) {
       if (pool(t) != p) continue;
-      for (u32 r = 0; r < kNumIntArchRegs; ++r) rat_[t][r] = next_int++;
-      for (u32 r = 0; r < kNumFpArchRegs; ++r) rat_[t][kNumIntArchRegs + r] = next_fp++;
+      PhysReg* row = &rat_[t * kNumArchRegs];
+      for (u32 r = 0; r < kNumIntArchRegs; ++r) row[r] = next_int++;
+      for (u32 r = 0; r < kNumFpArchRegs; ++r) row[kNumIntArchRegs + r] = next_fp++;
     }
     for (PhysReg r = next_int; r < fp_base; ++r) free_int_[p].push_back(r);
     for (PhysReg r = next_fp; r < int_base + cfg.int_regs + cfg.fp_regs; ++r)
@@ -50,33 +51,18 @@ bool RenameUnit::can_rename(ThreadId tid, const StaticInst& si) const {
   return is_fp_reg(si.dest) ? !free_fp_[pool(tid)].empty() : !free_int_[pool(tid)].empty();
 }
 
-PhysReg RenameUnit::alloc(bool fp, ThreadId t) {
-  auto& fl = fp ? free_fp_[pool(t)] : free_int_[pool(t)];
-  const PhysReg r = fl.back();
-  fl.pop_back();
-  (fp ? fp_use_ : int_use_)[t] += 1;
-  return r;
-}
-
-void RenameUnit::release(PhysReg r, ThreadId t) {
-  const bool fp = is_fp_phys_[r];
-  (fp ? free_fp_[pool(t)] : free_int_[pool(t)]).push_back(r);
-  u32& use = (fp ? fp_use_ : int_use_)[t];
-  if (use > 0) --use;
-  state_[r] = RegState::kReady;  // free regs are inert; reset for reuse
-}
-
 void RenameUnit::rename(DynInst& di) {
   const StaticInst& si = *di.si;
+  PhysReg* row = &rat_[di.tid * kNumArchRegs];
   for (u32 s = 0; s < 2; ++s) {
-    di.src_phys[s] = si.src[s] == kNoReg ? kInvalidPhysReg : rat_[di.tid][si.src[s]];
+    di.src_phys[s] = si.src[s] == kNoReg ? kInvalidPhysReg : row[si.src[s]];
     if (di.src_phys[s] != kInvalidPhysReg) ++readers_[di.src_phys[s]];
   }
   if (si.has_dest()) {
-    di.prev_dest_phys = rat_[di.tid][si.dest];
+    di.prev_dest_phys = row[si.dest];
     di.dest_phys = alloc(is_fp_reg(si.dest), di.tid);
     state_[di.dest_phys] = RegState::kNotReady;
-    rat_[di.tid][si.dest] = di.dest_phys;
+    row[si.dest] = di.dest_phys;
   }
 }
 
@@ -112,7 +98,7 @@ std::vector<std::string> RenameUnit::audit_integrity() const {
           issues.push_back(os.str() + "is out of range");
           continue;
         }
-        if (is_fp_phys_[r] != fp) issues.push_back(os.str() + "has the wrong class");
+        if ((is_fp_phys_[r] != 0) != fp) issues.push_back(os.str() + "has the wrong class");
         if (seen[r] == 1)
           issues.push_back(os.str() + "appears on a free list twice (double-free)");
         seen[r] = 1;
@@ -125,14 +111,14 @@ std::vector<std::string> RenameUnit::audit_integrity() const {
 
   for (u32 t = 0; t < cfg_.num_threads; ++t) {
     for (u32 a = 0; a < kNumArchRegs; ++a) {
-      const PhysReg r = rat_[t][a];
+      const PhysReg r = rat_[t * kNumArchRegs + a];
       std::ostringstream os;
       os << "RAT[" << t << "][" << a << "] -> " << r << " ";
       if (r >= state_.size()) {
         issues.push_back(os.str() + "is out of range");
         continue;
       }
-      if (is_fp_phys_[r] != is_fp_reg(static_cast<ArchReg>(a)))
+      if ((is_fp_phys_[r] != 0) != is_fp_reg(static_cast<ArchReg>(a)))
         issues.push_back(os.str() + "has the wrong class");
       if (seen[r] == 1)
         issues.push_back(os.str() + "is simultaneously on a free list (use-after-free)");
@@ -172,7 +158,7 @@ void RenameUnit::test_only_leak_free_reg() {
 
 void RenameUnit::squash_undo(const DynInst& di) {
   if (di.dest_phys != kInvalidPhysReg) {
-    rat_[di.tid][di.si->dest] = di.prev_dest_phys;
+    rat_[di.tid * kNumArchRegs + di.si->dest] = di.prev_dest_phys;
     release(di.dest_phys, di.tid);
   }
 }

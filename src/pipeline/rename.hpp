@@ -96,7 +96,7 @@ class RenameUnit {
     return cfg_.fp_regs - (cfg_.shared ? cfg_.num_threads : 1) * kNumFpArchRegs;
   }
 
-  PhysReg rat_entry(ThreadId t, ArchReg r) const { return rat_[t][r]; }
+  PhysReg rat_entry(ThreadId t, ArchReg r) const { return rat_[t * kNumArchRegs + r]; }
   const RenameConfig& config() const { return cfg_; }
 
   /// Invariant-audit hook: verifies register conservation from first
@@ -114,18 +114,39 @@ class RenameUnit {
 
  private:
   u32 pool(ThreadId t) const { return cfg_.shared ? 0 : t; }
-  PhysReg alloc(bool fp, ThreadId t);
-  void release(PhysReg r, ThreadId t);
+
+  // Inline: rename/commit run per dispatched instruction. The free lists
+  // are LIFO stacks, which both avoids shifting and pins the allocation
+  // order (the register a given rename receives is part of the machine's
+  // deterministic fingerprint).
+  PhysReg alloc(bool fp, ThreadId t) {
+    auto& fl = fp ? free_fp_[pool(t)] : free_int_[pool(t)];
+    const PhysReg r = fl.back();
+    fl.pop_back();
+    (fp ? fp_use_ : int_use_)[t] += 1;
+    return r;
+  }
+
+  void release(PhysReg r, ThreadId t) {
+    const bool fp = is_fp_phys_[r] != 0;
+    (fp ? free_fp_[pool(t)] : free_int_[pool(t)]).push_back(r);
+    u32& use = (fp ? fp_use_ : int_use_)[t];
+    if (use > 0) --use;
+    state_[r] = RegState::kReady;  // free regs are inert; reset for reuse
+  }
 
   RenameConfig cfg_;
-  std::vector<std::vector<PhysReg>> rat_;       // [thread][arch reg]
+  // RAT flattened to one dense array ([thread * kNumArchRegs + arch reg]):
+  // rename() reads up to three entries per instruction, and the flat layout
+  // keeps all threads' tables in one allocation with no outer indirection.
+  std::vector<PhysReg> rat_;
   std::vector<std::vector<PhysReg>> free_int_;  // [pool]
   std::vector<std::vector<PhysReg>> free_fp_;
   std::vector<RegState> state_;  // flat over all physical registers
   std::vector<Cycle> spec_at_;
   std::vector<u32> readers_;     // renamed-but-not-yet-executed consumers
-  std::vector<bool> is_fp_phys_;  // class of each physical register
-  std::vector<u32> int_use_;      // renamed (non-architectural) regs per thread
+  std::vector<u8> is_fp_phys_;   // class of each physical register
+  std::vector<u32> int_use_;     // renamed (non-architectural) regs per thread
   std::vector<u32> fp_use_;
 };
 

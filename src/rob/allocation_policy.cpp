@@ -122,6 +122,7 @@ void TwoLevelRobController::on_l2_miss_detected(DynInst& load, Cycle now) {
 
   const Cycle first_check =
       cfg_.scheme == RobScheme::kCdr ? now + cfg_.cdr_delay : now;
+  next_check_floor_ = std::min(next_check_floor_, first_check);
   ts.cands.push_back({load.tseq, now, first_check, false});
 }
 
@@ -222,18 +223,27 @@ bool TwoLevelRobController::tick(Cycle now) {
   if (cfg_.scheme == RobScheme::kBaseline) return false;
   if (cfg_.scheme == RobScheme::kAdaptive) return adaptive_tick(now);
   bool activity = false;
+  // next_check_floor_ is a lower bound on every candidate's next_check: when
+  // now hasn't reached it, the candidate loops below would evaluate nothing,
+  // so only the per-thread release polls run. The bound is recomputed on
+  // each full pass and lowered whenever a candidate is pushed or deferred;
+  // erases can only raise the true minimum, which merely costs one extra
+  // full pass.
+  const bool cands_due = cfg_.scheme != RobScheme::kPredictive && now >= next_check_floor_;
+  if (cands_due) next_check_floor_ = kNeverCycle;
   // Rotate the evaluation order so that when several threads have qualifying
   // candidates pending, the partition does not always go to the lowest id.
   const u32 n = static_cast<u32>(threads_.size());
   for (u32 i = 0; i < n; ++i) {
     const ThreadId tid = static_cast<ThreadId>((now + i) % n);
     ThreadState& ts = threads_[tid];
-    if (cfg_.scheme != RobScheme::kPredictive) {
+    if (cands_due) {
       for (auto it = ts.cands.begin(); it != ts.cands.end();) {
         if (it->next_check <= now && evaluate(tid, *it, now)) {
           it = ts.cands.erase(it);
           activity = true;  // retirement or acquisition; deferrals stay put
         } else {
+          next_check_floor_ = std::min(next_check_floor_, it->next_check);
           ++it;
         }
       }

@@ -159,6 +159,9 @@ class TwoLevelRobController {
   SecondLevelRob& second_;
   std::unique_ptr<DodPredictor> predictor_;
   std::vector<ThreadState> threads_;
+  /// Lower bound on every live candidate's next_check; lets tick() skip the
+  /// per-thread candidate loops on cycles where nothing can be due.
+  Cycle next_check_floor_ = kNeverCycle;
   StatGroup stats_;
 
   // Cached stat handles: StatGroup::counter() is a map lookup and showed up

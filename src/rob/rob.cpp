@@ -1,7 +1,6 @@
 #include "rob/rob.hpp"
 
 #include <stdexcept>
-#include <unordered_set>
 #include <utility>
 
 namespace tlrob {
@@ -29,10 +28,20 @@ void ReorderBuffer::pop_head() {
 
 DynInst* ReorderBuffer::find(u64 tseq) {
   if (insts_.empty()) return nullptr;
-  if (tseq < insts_.front().tseq || tseq > insts_.back().tseq) return nullptr;
-  // Binary search: the window is sorted by (gappy) strictly-increasing tseq.
-  u32 lo = 0;
+  const u64 front_tseq = insts_.front().tseq;
+  if (tseq < front_tseq || tseq > insts_.back().tseq) return nullptr;
+  // tseq rises by at least one per entry, so the index of `tseq` (if
+  // present) is at most tseq - front_tseq — and exactly that when no
+  // squash gap sits in between, which is the overwhelmingly common case.
+  // Probe the guess first; fall back to binary search below it.
   u32 hi = insts_.size();
+  const u64 off = tseq - front_tseq;
+  if (off < hi) {
+    const u32 g = static_cast<u32>(off);
+    if (insts_[g].tseq == tseq) return &insts_[g];
+    hi = g;  // gaps only push the entry to a lower index
+  }
+  u32 lo = 0;
   while (lo < hi) {
     const u32 mid = lo + (hi - lo) / 2;
     if (insts_[mid].tseq < tseq)
@@ -68,18 +77,28 @@ u32 ReorderBuffer::count_unexecuted_younger(u64 tseq, u32 window) const {
 }
 
 u32 ReorderBuffer::count_true_dependents(const DynInst& load) const {
-  std::unordered_set<PhysReg> tainted;
-  if (load.dest_phys != kInvalidPhysReg) tainted.insert(load.dest_phys);
+  // Epoch-stamped membership: taint_gen_[r] == taint_epoch_ means r is
+  // tainted this walk. The array grows to the highest physical register
+  // seen and is never cleared between calls.
+  ++taint_epoch_;
+  auto taint = [&](PhysReg r) {
+    if (r >= taint_gen_.size()) taint_gen_.resize(r + 1, 0);
+    taint_gen_[r] = taint_epoch_;
+  };
+  auto tainted = [&](PhysReg r) {
+    return r < taint_gen_.size() && taint_gen_[r] == taint_epoch_;
+  };
+  if (load.dest_phys != kInvalidPhysReg) taint(load.dest_phys);
   u32 count = 0;
   for (u32 i = 0; i < insts_.size(); ++i) {
     const DynInst& di = insts_[i];
     if (di.tseq <= load.tseq) continue;
     bool dep = false;
     for (PhysReg s : di.src_phys)
-      if (s != kInvalidPhysReg && tainted.count(s) != 0) dep = true;
+      if (s != kInvalidPhysReg && tainted(s)) dep = true;
     if (dep) {
       ++count;
-      if (di.dest_phys != kInvalidPhysReg) tainted.insert(di.dest_phys);
+      if (di.dest_phys != kInvalidPhysReg) taint(di.dest_phys);
     }
   }
   return count;

@@ -112,6 +112,12 @@ class ReorderBuffer {
   u32 base_capacity_;
   u32 max_extra_;
   u32 extra_ = 0;
+  // Reusable taint scratch for count_true_dependents (one slot per physical
+  // register, generation-stamped so it never needs clearing): the per-call
+  // unordered_set showed up in the self-profile — the walk runs for every
+  // correct-path L2-miss fill.
+  mutable std::vector<u64> taint_gen_;
+  mutable u64 taint_epoch_ = 0;
 };
 
 }  // namespace tlrob

@@ -38,6 +38,7 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
       next_sample_(cfg.telemetry.sample_interval),
       auditor_(cfg.audit, cfg.num_threads) {
   profiler_.enable(cfg.telemetry.profile);
+  prof_detail_ = cfg.telemetry.profile;
   if (benchmarks_.size() != cfg.num_threads)
     throw std::invalid_argument("SmtCore: one benchmark per hardware thread required");
   if (cfg.early_register_release && cfg.fetch_policy == FetchPolicyKind::kFlush)
@@ -99,6 +100,14 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
   cnt_loads_l2_miss_ = &stats_.counter("loads.l2_miss");
   cnt_loads_l2_miss_wp_ = &stats_.counter("loads.l2_miss_wp");
   cnt_loads_l2_miss_fills_ = &stats_.counter("loads.l2_miss_fills");
+  cnt_loads_l2_detect_after_fill_ = &stats_.counter("loads.l2_detect_after_fill");
+  cnt_loads_l2_miss_detect_ = &stats_.counter("loads.l2_miss_detect");
+  cnt_loads_l2_miss_detect_wp_ = &stats_.counter("loads.l2_miss_detect_wp");
+  cnt_flush_triggered_ = &stats_.counter("flush.triggered");
+  cnt_flush_undispatched_ = &stats_.counter("flush.undispatched");
+  cnt_mispredicts_resolved_ = &stats_.counter("branch.mispredicts_resolved");
+  cnt_mispredicts_fetched_ = &stats_.counter("branch.mispredicts_fetched");
+  cnt_early_released_ = &stats_.counter("rename.early_released");
 
   // The audit view is built once: every pointer below is stable for the
   // core's lifetime (threads_ never resizes after construction). Only the
@@ -208,14 +217,14 @@ void SmtCore::handle_l2_miss_detect(DynInst& di) {
   // time (it piggybacks on a fill that is about to arrive); a "detection"
   // of an already-completed load must not gate fetch, flush, or count.
   if (di.executed) {
-    stats_.counter("loads.l2_detect_after_fill").inc();
+    cnt_loads_l2_detect_after_fill_->inc();
     return;
   }
   if (!di.l2_counted) {
     ++threads_[di.tid].outstanding_l2;
     di.l2_counted = true;
   }
-  stats_.counter(di.wrong_path ? "loads.l2_miss_detect_wp" : "loads.l2_miss_detect").inc();
+  (di.wrong_path ? cnt_loads_l2_miss_detect_wp_ : cnt_loads_l2_miss_detect_)->inc();
   if (di.wrong_path) return;
   rob_ctrl_->on_l2_miss_detected(di, cycle_);
   if (trace_ != nullptr)
@@ -223,7 +232,7 @@ void SmtCore::handle_l2_miss_detect(DynInst& di) {
                           {{"tseq", di.tseq}, {"pc", di.pc}});
   if (fetch_policy_->flush_on_l2_miss()) {
     undispatch_after(di.tid, di.tseq);
-    stats_.counter("flush.triggered").inc();
+    cnt_flush_triggered_->inc();
   }
 }
 
@@ -254,6 +263,7 @@ void SmtCore::replay_dependents_of(PhysReg reg) {
     });
     for (DynInst* e : replay_victims_) {
       e->issued = false;
+      iq_.mark_unissued(e);
       ++e->replay_gen;  // poison in-flight completion events
       e->spec_used[0] = e->spec_used[1] = false;
       drop_outstanding_counts(*e);
@@ -287,7 +297,10 @@ void SmtCore::finish_execution(DynInst& di) {
   if (di.executed) return;  // idempotent: commit-poll and events may race
   di.executed = true;
   di.complete_cycle = cycle_;
-  if (di.dest_phys != kInvalidPhysReg) rename_.set_ready(di.dest_phys);
+  if (di.dest_phys != kInvalidPhysReg) {
+    rename_.set_ready(di.dest_phys);
+    iq_.wake_waiters(di.dest_phys);
+  }
   if (di.in_iq) iq_.remove(&di);  // speculatively issued entries release here
   rename_.consumers_read(di);
   tracer_.event(cycle_, "complete", di);
@@ -302,11 +315,17 @@ void SmtCore::finish_execution(DynInst& di) {
 
 void SmtCore::resolve_control(DynInst& di) {
   if (di.wrong_path) return;
-  bpred_.train(di.tid, *di.si, di.pred, di.taken, di.actual_target);
+  {
+    ProfScope ps(this, obs::Phase::kPredict);
+    bpred_.train(di.tid, *di.si, di.pred, di.taken, di.actual_target);
+  }
   if (!di.mispredicted) return;
 
-  stats_.counter("branch.mispredicts_resolved").inc();
-  bpred_.recover(di.tid, *di.si, di.pred, di.taken);
+  cnt_mispredicts_resolved_->inc();
+  {
+    ProfScope ps(this, obs::Phase::kPredict);
+    bpred_.recover(di.tid, *di.si, di.pred, di.taken);
+  }
   squash_after(di.tid, di.tseq);
   ThreadState& ts = threads_[di.tid];
   ts.wrong_path = false;
@@ -375,7 +394,7 @@ void SmtCore::undispatch_after(ThreadId tid, u64 tseq) {
     // vector. The frontend ring is sized for the whole window, so this
     // cannot overflow.
     ts.frontend.push_front(std::move(d));
-    stats_.counter("flush.undispatched").inc();
+    cnt_flush_undispatched_->inc();
   });
   rob_ctrl_->on_squash(tid, tseq);
 }
@@ -405,7 +424,10 @@ bool SmtCore::do_commit() {
         // committing. Counted rather than asserted so long runs surface it.
         cnt_commit_wp_bug_->inc();
       }
-      if (h->is_store() && !h->wrong_path) mem_.access_data(h->mem_addr, true, cycle_);
+      if (h->is_store() && !h->wrong_path) {
+        ProfScope ps(this, obs::Phase::kMemory);
+        mem_.access_data(h->mem_addr, true, cycle_);
+      }
       if (h->is_mem() && h->lsq_allocated) ts.lsq.pop(h);
       drop_outstanding_counts(*h);  // defensive: no committed op may keep gating fetch
       rename_.commit_free(*h);
@@ -429,17 +451,16 @@ bool SmtCore::do_commit() {
 // ---------------------------------------------------------------------------
 
 bool SmtCore::do_issue() {
-  iq_.collect_into(ready_scratch_, [&](DynInst& d) {
-    if (d.issued) return false;
-    // Stores issue for address generation as soon as the address dependence
-    // (src[1]) is ready; the data (src[0]) is only needed at commit
-    // (split store-address / store-data, as in real LSQs). Everything else
-    // needs all sources.
-    const u32 first_src = d.is_store() ? 1 : 0;
-    for (u32 s = first_src; s < 2; ++s)
-      if (d.src_phys[s] != kInvalidPhysReg && !rename_.is_ready(d.src_phys[s], cycle_))
-        return false;
-    return true;
+  // Stores issue for address generation as soon as the address dependence
+  // (src[1]) is ready; the data (src[0]) is only needed at commit (split
+  // store-address / store-data, as in real LSQs) — the queue's mirrored
+  // wakeup sources encode that shape, so the scan only tests readiness.
+  // Entries blocked on a plain not-ready register park in the queue until
+  // that register's wake (finish_execution / speculative load wakeup).
+  iq_.collect_issue_candidates(ready_scratch_, [&](PhysReg r) {
+    if (rename_.is_ready(r, cycle_)) return IssueQueue::SrcState::kReady;
+    return rename_.is_spec(r) ? IssueQueue::SrcState::kWaitTime
+                              : IssueQueue::SrcState::kWaitEvent;
   });
   std::sort(ready_scratch_.begin(), ready_scratch_.end(),
             [](const DynInst* a, const DynInst* b) { return a->seq < b->seq; });
@@ -474,6 +495,7 @@ bool SmtCore::issue_one(DynInst& di) {
   }
 
   di.issued = true;
+  iq_.mark_issued(&di);
   di.issue_cycle = cycle_;
   tracer_.event(cycle_, "issue   ", di, any_spec ? "spec" : "");
   cnt_issue_insts_->inc();
@@ -483,7 +505,12 @@ bool SmtCore::issue_one(DynInst& di) {
     issue_load(di);
   } else if (di.is_store()) {
     fus_.issue(di.op, cycle_);
-    di.addr_resolved = true;
+    // Replayed stores keep their resolved address; only the first issue
+    // retires the LSQ's unresolved-store count.
+    if (!di.addr_resolved) {
+      di.addr_resolved = true;
+      threads_[di.tid].lsq.note_store_resolved();
+    }
     // The store is architecturally complete once both the address is
     // generated and the data has been produced; with the data still in
     // flight the commit stage polls readiness at the ROB head.
@@ -511,16 +538,27 @@ void SmtCore::issue_load(DynInst& di) {
       const Cycle data_at =
           st->executed ? cycle_ + 2 : std::max<Cycle>(cycle_ + 2, cycle_ + 4);
       di.l1_hit = true;
-      lhp_.update(di.tid, di.pc, true);
+      {
+        ProfScope ps(this, obs::Phase::kPredict);
+        lhp_.update(di.tid, di.pc, true);
+      }
       schedule(data_at, EvKind::kLoadFill, di);
       cnt_lsq_forwards_->inc();
       return;
     }
   }
 
-  const DataAccess da = mem_.access_data(di.mem_addr, false, cycle_);
-  const bool predicted_hit = lhp_.predict(di.tid, di.pc);
-  lhp_.update(di.tid, di.pc, da.l1_hit);
+  DataAccess da;
+  {
+    ProfScope ps(this, obs::Phase::kMemory);
+    da = mem_.access_data(di.mem_addr, false, cycle_);
+  }
+  bool predicted_hit;
+  {
+    ProfScope ps(this, obs::Phase::kPredict);
+    predicted_hit = lhp_.predict(di.tid, di.pc);
+    lhp_.update(di.tid, di.pc, da.l1_hit);
+  }
   di.l1_hit = da.l1_hit;
   const Cycle data_cycle = da.data_ready + 1;  // +1: load-to-use forwarding
 
@@ -538,6 +576,7 @@ void SmtCore::issue_load(DynInst& di) {
     // Speculative wakeup at hit latency; the mis-speculation is discovered
     // one cycle later and replays any dependent that got away.
     rename_.set_spec_ready(di.dest_phys, cycle_ + 2);
+    iq_.wake_waiters(di.dest_phys);
     // The wake marker keeps the maturation cycle visible to the
     // fast-forward: a dependent may issue the moment spec_at arrives.
     schedule(cycle_ + 2, EvKind::kWake, di);
@@ -666,7 +705,10 @@ DynInst SmtCore::make_correct_path_inst(ThreadState& ts, ThreadId tid) {
     const Addr fallthrough_pc = ts.ctx->block_pc(bb.fallthrough);
     const Addr static_target =
         di.op == OpClass::kReturn ? 0 : ts.ctx->block_pc(op.si->taken_block);
-    di.pred = bpred_.predict(tid, *op.si, static_target, fallthrough_pc, fallthrough_pc);
+    {
+      ProfScope ps(this, obs::Phase::kPredict);
+      di.pred = bpred_.predict(tid, *op.si, static_target, fallthrough_pc, fallthrough_pc);
+    }
 
     di.mispredicted =
         (di.pred.taken != di.taken) || (di.pred.target != di.actual_target);
@@ -683,7 +725,7 @@ DynInst SmtCore::make_correct_path_inst(ThreadState& ts, ThreadId tid) {
         else
           ts.wp_dead = true;
       }
-      stats_.counter("branch.mispredicts_fetched").inc();
+      cnt_mispredicts_fetched_->inc();
     }
   }
   return di;
@@ -717,7 +759,10 @@ DynInst SmtCore::make_wrong_path_inst(ThreadState& ts, ThreadId tid) {
     const Addr fallthrough_pc = ts.ctx->block_pc(bb.fallthrough);
     const Addr static_target =
         si.op == OpClass::kReturn ? 0 : ts.ctx->block_pc(si.taken_block);
-    di.pred = bpred_.predict(tid, si, static_target, fallthrough_pc, fallthrough_pc);
+    {
+      ProfScope ps(this, obs::Phase::kPredict);
+      di.pred = bpred_.predict(tid, si, static_target, fallthrough_pc, fallthrough_pc);
+    }
     di.taken = di.pred.taken;
     di.actual_target = di.pred.target;
     if (si.op == OpClass::kReturn) {
@@ -744,7 +789,11 @@ bool SmtCore::fetch_one(ThreadState& ts, ThreadId tid) {
   DynInst di =
       ts.wrong_path ? make_wrong_path_inst(ts, tid) : make_correct_path_inst(ts, tid);
 
-  const Cycle iready = mem_.access_inst(icache_addr(ts, di.pc), cycle_);
+  Cycle iready;
+  {
+    ProfScope ps(this, obs::Phase::kMemory);
+    iready = mem_.access_inst(icache_addr(ts, di.pc), cycle_);
+  }
   di.fetch_cycle = std::max(cycle_, iready);
   if (iready > cycle_) {
     ts.fetch_stall_until = iready;
@@ -813,7 +862,7 @@ bool SmtCore::do_early_release() {
       if (rename_.pending_readers(d.prev_dest_phys) != 0) return;
       if (!rename_.is_value_ready(d.prev_dest_phys)) return;
       rename_.early_free_prev(d);
-      stats_.counter("rename.early_released").inc();
+      cnt_early_released_->inc();
       ++released;
     });
   }
@@ -830,9 +879,14 @@ bool SmtCore::tick_impl() {
   auto lap = [&](obs::Phase ph) {
     if constexpr (Profiled) {
       const auto t1 = std::chrono::steady_clock::now();
-      profiler_.add(ph, static_cast<u64>(
-                            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                                .count()));
+      u64 dt = static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+      // Time already attributed to the cross-cutting kMemory/kPredict
+      // phases inside this stage is subtracted so the table sums cleanly
+      // (clamped: clock granularity can make the parts exceed the whole).
+      dt -= std::min(dt, prof_steal_ns_);
+      prof_steal_ns_ = 0;
+      profiler_.add(ph, dt);
       t0 = t1;
     } else {
       (void)ph;

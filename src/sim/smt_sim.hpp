@@ -24,6 +24,7 @@
 // execution; tests/golden pins that.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -268,6 +269,30 @@ class SmtCore {
   Cycle sample_every_ = 0;
   Cycle next_sample_ = 0;
   obs::SelfProfiler profiler_;
+  // Detail attribution for the cross-cutting kMemory/kPredict phases: when
+  // the profiler is on, ProfScope brackets the memory-hierarchy and
+  // predictor calls, accumulating their time both into the detail phase and
+  // into prof_steal_ns_, which tick_impl's per-stage lap() subtracts from
+  // the enclosing stage. Off (the default), ProfScope is one predictable
+  // branch.
+  bool prof_detail_ = false;
+  u64 prof_steal_ns_ = 0;
+  struct ProfScope {
+    SmtCore* core;
+    obs::Phase phase;
+    std::chrono::steady_clock::time_point t0;
+    ProfScope(SmtCore* c, obs::Phase p) : core(c), phase(p) {
+      if (core->prof_detail_) t0 = std::chrono::steady_clock::now();
+    }
+    ~ProfScope() {
+      if (!core->prof_detail_) return;
+      const u64 dt = static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count());
+      core->profiler_.add(phase, dt);
+      core->prof_steal_ns_ += dt;
+    }
+  };
   // Second-level tenure being observed by poll_second_level().
   ThreadId sl_owner_ = SecondLevelRob::kNoOwner;
   Cycle sl_acquired_ = 0;
@@ -307,6 +332,14 @@ class SmtCore {
   Counter* cnt_loads_l2_miss_;
   Counter* cnt_loads_l2_miss_wp_;
   Counter* cnt_loads_l2_miss_fills_;
+  Counter* cnt_loads_l2_detect_after_fill_;
+  Counter* cnt_loads_l2_miss_detect_;
+  Counter* cnt_loads_l2_miss_detect_wp_;
+  Counter* cnt_flush_triggered_;
+  Counter* cnt_flush_undispatched_;
+  Counter* cnt_mispredicts_resolved_;
+  Counter* cnt_mispredicts_fetched_;
+  Counter* cnt_early_released_;
 };
 
 }  // namespace tlrob

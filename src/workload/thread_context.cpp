@@ -18,7 +18,13 @@ ThreadContext::ThreadContext(const Benchmark& bench, Addr addr_space_base, u64 s
   ret_stack_.reserve(64);
 }
 
-ArchOp ThreadContext::next() {
+void ThreadContext::refill() {
+  for (u32 i = 0; i < kBatch; ++i) batch_[i] = produce();
+  batch_pos_ = 0;
+  batch_len_ = kBatch;
+}
+
+ArchOp ThreadContext::produce() {
   const Program& prog = program();
   const BasicBlock& bb = prog.block(block_);
   const StaticInst& si = bb.insts[index_];
@@ -83,7 +89,6 @@ ArchOp ThreadContext::next() {
 
   block_ = next_block;
   index_ = next_index;
-  ++generated_;
   return op;
 }
 

@@ -11,6 +11,7 @@
 // mispredicted-branch recovery requires no architectural rollback.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,8 +52,16 @@ class ThreadContext {
   /// decorrelates generator streams between thread instances.
   ThreadContext(const Benchmark& bench, Addr addr_space_base, u64 salt);
 
-  /// Produces the next correct-path instruction and advances.
-  ArchOp next();
+  /// Produces the next correct-path instruction and advances. Production
+  /// is batched: the generator walk (produce()) runs kBatch instructions at
+  /// a time into a buffer, amortizing the out-of-line address/branch
+  /// generator calls; timing never feeds back into the architectural walk,
+  /// so running ahead is unobservable.
+  ArchOp next() {
+    if (batch_pos_ == batch_len_) refill();
+    ++generated_;
+    return batch_[batch_pos_++];
+  }
 
   const Program& program() const { return *bench_->program; }
   const Benchmark& benchmark() const { return *bench_; }
@@ -67,6 +76,11 @@ class ThreadContext {
     u32 block;
   };
 
+  static constexpr u32 kBatch = 32;
+
+  ArchOp produce();
+  void refill();
+
   const Benchmark* bench_;
   Addr addr_base_;
   std::vector<AddrGen> agens_;
@@ -74,7 +88,10 @@ class ThreadContext {
   u32 block_ = 0;
   u32 index_ = 0;
   std::vector<ReturnPoint> ret_stack_;
-  u64 generated_ = 0;
+  u64 generated_ = 0;  // instructions consumed through next()
+  std::array<ArchOp, kBatch> batch_;
+  u32 batch_pos_ = 0;
+  u32 batch_len_ = 0;
 };
 
 }  // namespace tlrob

@@ -12,6 +12,13 @@ in both files the current sim_cycles/s must be at least
 (1 - tolerance_pct/100) of the recorded value. Median aggregates are used
 when the current run has repetitions; otherwise the plain iteration row.
 
+Per-benchmark tolerances: the baseline file may carry a top-level
+"tolerance_pct_overrides" object mapping benchmark names to their own
+tolerance (noisier benches get more slack without loosening the rest).
+A --tolerance on the command line overrides both. Every compared row prints
+its signed relative delta so improvements and regressions are readable at a
+glance in CI logs, not just the pass/fail verdict.
+
 Exit status: 0 = no regression, 1 = regression, 2 = usage/format error.
 """
 
@@ -85,8 +92,22 @@ def main():
         )
         return 2
     newest = history[-1]
-    tolerance = args.tolerance if args.tolerance is not None else baseline.get("tolerance_pct", 20)
-    floor = 1.0 - tolerance / 100.0
+    default_tol = (
+        args.tolerance if args.tolerance is not None else baseline.get("tolerance_pct", 20)
+    )
+    overrides = baseline.get("tolerance_pct_overrides", {})
+    if isinstance(overrides, dict):
+        # "_comment"-style annotation keys are allowed, as elsewhere in the file.
+        overrides = {k: v for k, v in overrides.items() if not k.startswith("_")}
+    if not isinstance(overrides, dict) or not all(
+        isinstance(v, (int, float)) for v in overrides.values()
+    ):
+        print(
+            f"error: {args.baseline} tolerance_pct_overrides must map "
+            "benchmark names to numbers",
+            file=sys.stderr,
+        )
+        return 2
 
     current = load_current(args.current)
     if not current:
@@ -96,24 +117,33 @@ def main():
     compared = 0
     failed = []
     print(f"baseline: {newest.get('label', '?')} ({newest.get('date', '?')})")
-    print(f"tolerance: -{tolerance:g}%")
+    print(f"tolerance: -{default_tol:g}% (per-benchmark overrides apply)")
     for name, base in sorted(newest.get("benchmarks", {}).items()):
         if name not in current:
             print(f"  {name:32s} SKIP (not in current run)")
             continue
+        # --tolerance beats the file; a per-benchmark override beats the
+        # file's default.
+        tol = default_tol if args.tolerance is not None else overrides.get(name, default_tol)
+        floor = 1.0 - tol / 100.0
         cur = current[name]
         ratio = cur / base
+        delta_pct = (ratio - 1.0) * 100.0
         verdict = "ok" if ratio >= floor else "REGRESSION"
-        print(f"  {name:32s} {base:12.4e} -> {cur:12.4e}  ({ratio:6.2%}) {verdict}")
+        print(
+            f"  {name:32s} {base:12.4e} -> {cur:12.4e}  "
+            f"({delta_pct:+7.2f}%, floor -{tol:g}%) {verdict}"
+        )
         compared += 1
         if ratio < floor:
-            failed.append(name)
+            failed.append((name, tol))
 
     if compared == 0:
         print("error: no benchmark overlapped the baseline", file=sys.stderr)
         return 2
     if failed:
-        print(f"FAIL: {', '.join(failed)} regressed more than {tolerance:g}%")
+        detail = ", ".join(f"{name} (>{tol:g}%)" for name, tol in failed)
+        print(f"FAIL: regressed past tolerance: {detail}")
         return 1
     print("PASS: throughput within tolerance of the recorded baseline")
     return 0

@@ -45,9 +45,9 @@ def write(tmp, name, content):
     return path
 
 
-def run(baseline, current):
+def run(baseline, current, *extra):
     proc = subprocess.run(
-        [sys.executable, CHECKER, "--baseline", baseline, "--current", current],
+        [sys.executable, CHECKER, "--baseline", baseline, "--current", current, *extra],
         capture_output=True,
         text=True,
     )
@@ -57,13 +57,17 @@ def run(baseline, current):
 failures = []
 
 
-def check(label, proc, want_code):
+def check(label, proc, want_code, want_stdout=()):
     ok = proc.returncode == want_code and "Traceback" not in proc.stderr
+    for needle in want_stdout:
+        if needle not in proc.stdout:
+            ok = False
     status = "ok" if ok else f"FAIL (exit {proc.returncode}, wanted {want_code})"
     print(f"  {label:44s} {status}")
     if not ok:
         failures.append(label)
         sys.stderr.write(proc.stderr)
+        sys.stderr.write(proc.stdout)
 
 
 def main():
@@ -76,9 +80,43 @@ def main():
         not_json = write(tmp, "garbage.json", "this is not json {")
         missing = os.path.join(tmp, "does_not_exist.json")
 
+        # Per-benchmark tolerance overrides: the same -30% drop passes a
+        # benchmark whose override grants 40% slack and fails one tightened
+        # to 5%, while --tolerance on the command line beats both.
+        loose_base = dict(BASELINE_OK, tolerance_pct_overrides={"BM_sim_speed/mix1": 40})
+        tight_base = dict(BASELINE_OK, tolerance_pct_overrides={"BM_sim_speed/mix1": 5})
+        bad_overrides = dict(BASELINE_OK, tolerance_pct_overrides={"BM_sim_speed/mix1": "x"})
+        commented_overrides = dict(
+            BASELINE_OK,
+            tolerance_pct_overrides={"_comment": "why", "BM_sim_speed/mix1": 40},
+        )
+        loose = write(tmp, "base_loose.json", loose_base)
+        tight = write(tmp, "base_tight.json", tight_base)
+        bad_ovr = write(tmp, "base_badovr.json", bad_overrides)
+        commented = write(tmp, "base_commented.json", commented_overrides)
+        drop30 = write(tmp, "cur_drop30.json", current_json(700000.0))
+        drop10 = write(tmp, "cur_drop10.json", current_json(900000.0))
+
         print("check_bench_regression.py exit-code contract:")
         check("within tolerance -> 0", run(good_base, good_cur), 0)
         check("regression -> 1", run(good_base, slow_cur), 1)
+        check("override grants slack -> 0", run(loose, drop30), 0)
+        check("override tightens -> 1", run(tight, drop10), 1)
+        check("--tolerance beats override -> 0", run(tight, drop10, "--tolerance", "20"), 0)
+        check("non-numeric override -> 2", run(bad_ovr, good_cur), 2)
+        check("_comment key in overrides ignored -> 0", run(commented, drop30), 0)
+        check(
+            "signed deltas printed",
+            run(good_base, good_cur),
+            0,
+            want_stdout=["-1.00%"],
+        )
+        check(
+            "improvement delta printed",
+            run(good_base, write(tmp, "cur_fast.json", current_json(1500000.0))),
+            0,
+            want_stdout=["+50.00%"],
+        )
         check("empty baseline history -> 2", run(empty_hist, good_cur), 2)
         check("current without metric rows -> 2", run(good_base, no_rows), 2)
         check("malformed baseline JSON -> 2", run(not_json, good_cur), 2)
