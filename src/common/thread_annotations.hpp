@@ -1,0 +1,39 @@
+// Clang thread-safety-analysis attribute shim.
+//
+// The TLROB_* macros expand to Clang's capability attributes when the
+// compiler understands them and to nothing everywhere else, so GCC builds
+// are byte-identical to an unannotated tree while Clang builds get
+// -Wthread-safety checking (promoted to an error by the top-level
+// CMakeLists). The vocabulary follows the canonical mutex.h pattern from
+// the Clang documentation; apply the macros to the tlrob::Mutex family in
+// common/sync.hpp, never to raw std::mutex (the standard types carry no
+// capability attributes, so the analysis cannot see them).
+//
+// Conventions (DESIGN.md §11):
+//   - Every Mutex member states in a comment what it protects, and every
+//     protected member carries TLROB_GUARDED_BY(that_mutex).
+//   - Private helpers that expect the lock held are annotated
+//     TLROB_REQUIRES(mu) and called only from locked scopes.
+//   - TLROB_NO_THREAD_SAFETY_ANALYSIS is a last resort and needs a
+//     justification comment, exactly like a tlrob-lint allow() directive.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TLROB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TLROB_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define TLROB_CAPABILITY(x) TLROB_THREAD_ANNOTATION(capability(x))
+#define TLROB_SCOPED_CAPABILITY TLROB_THREAD_ANNOTATION(scoped_lockable)
+#define TLROB_GUARDED_BY(x) TLROB_THREAD_ANNOTATION(guarded_by(x))
+#define TLROB_PT_GUARDED_BY(x) TLROB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define TLROB_ACQUIRE(...) TLROB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TLROB_RELEASE(...) TLROB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TLROB_TRY_ACQUIRE(...) TLROB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TLROB_REQUIRES(...) TLROB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TLROB_EXCLUDES(...) TLROB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define TLROB_ACQUIRED_BEFORE(...) TLROB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TLROB_ACQUIRED_AFTER(...) TLROB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define TLROB_RETURN_CAPABILITY(x) TLROB_THREAD_ANNOTATION(lock_returned(x))
+#define TLROB_NO_THREAD_SAFETY_ANALYSIS TLROB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -70,10 +70,10 @@ void IntervalSeries::write_csv(std::ostream& os) const {
 }
 
 std::map<std::string, u64> series_summary_counters(const IntervalSeries& series) {
-  std::map<std::string, u64> out;
-  if (series.empty()) return out;
-  out["obs.samples"] = series.size();
-  out["obs.sample_interval"] = series.interval();
+  std::map<std::string, u64> counters;
+  if (series.empty()) return counters;
+  counters["obs.samples"] = series.size();
+  counters["obs.sample_interval"] = series.interval();
 
   const size_t num_threads = series.samples().front().threads.size();
   for (size_t t = 0; t < num_threads; ++t) {
@@ -92,14 +92,14 @@ std::map<std::string, u64> series_summary_counters(const IntervalSeries& series)
       dod.record(th.dod_proxy);
     }
     const std::string prefix = "obs.t" + std::to_string(t) + ".";
-    out[prefix + "rob_occ_p50"] = rob_occ.percentile(50.0);
-    out[prefix + "rob_occ_p90"] = rob_occ.percentile(90.0);
-    out[prefix + "rob_occ_p99"] = rob_occ.percentile(99.0);
-    out[prefix + "iq_occ_p90"] = iq_occ.percentile(90.0);
-    out[prefix + "mlp_p90"] = mlp.percentile(90.0);
-    out[prefix + "dod_p90"] = dod.percentile(90.0);
+    counters[prefix + "rob_occ_p50"] = rob_occ.percentile(50.0);
+    counters[prefix + "rob_occ_p90"] = rob_occ.percentile(90.0);
+    counters[prefix + "rob_occ_p99"] = rob_occ.percentile(99.0);
+    counters[prefix + "iq_occ_p90"] = iq_occ.percentile(90.0);
+    counters[prefix + "mlp_p90"] = mlp.percentile(90.0);
+    counters[prefix + "dod_p90"] = dod.percentile(90.0);
   }
-  return out;
+  return counters;
 }
 
 }  // namespace tlrob::obs

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "common/sync.hpp"
 #include "obs/interval_sampler.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
@@ -85,9 +84,11 @@ namespace {
 
 /// Loads successful records from a manifest journal, keyed by cell
 /// identity. Unreadable or malformed lines are skipped (a journal truncated
-/// by a crash mid-line must not poison the resume).
-std::unordered_map<std::string, JobRecord> load_manifest(const std::string& path) {
-  std::unordered_map<std::string, JobRecord> by_key;
+/// by a crash mid-line must not poison the resume). Ordered map on purpose
+/// (lint rule D1): anything that later iterates or emits the resume set
+/// must see one key order regardless of the journal's completion order.
+std::map<std::string, JobRecord> load_manifest(const std::string& path) {
+  std::map<std::string, JobRecord> by_key;
   std::ifstream in(path);
   std::string line;
   while (std::getline(in, line)) {
@@ -110,7 +111,7 @@ class InOrderEmitter {
       : opts_(opts), manifest_(manifest), result_(result) {}
 
   void complete(JobRecord rec, bool resumed) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!resumed && manifest_ && manifest_->is_open()) {
       // Journal in completion order — the manifest is a log, not a sink.
       *manifest_ << to_json_line(rec) << "\n";
@@ -135,11 +136,14 @@ class InOrderEmitter {
 
  private:
   const EngineOptions& opts_;
-  std::ofstream* manifest_;
-  CampaignResult* result_;
-  std::mutex mu_;
-  std::map<u64, JobRecord> pending_;
-  u64 next_ = 0;
+  /// mu_ serialises completions from pool workers: it guards the reorder
+  /// window and, via the emitter being their only caller, the manifest
+  /// stream, the result tallies and every sink's emit().
+  Mutex mu_;
+  std::ofstream* manifest_ TLROB_PT_GUARDED_BY(mu_);
+  CampaignResult* result_ TLROB_PT_GUARDED_BY(mu_);
+  std::map<u64, JobRecord> pending_ TLROB_GUARDED_BY(mu_);
+  u64 next_ TLROB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace
@@ -147,7 +151,7 @@ class InOrderEmitter {
 CampaignResult run_campaign(const CampaignSpec& spec, const EngineOptions& opts) {
   const std::vector<JobSpec> jobs = expand(spec);
 
-  std::unordered_map<std::string, JobRecord> done;
+  std::map<std::string, JobRecord> done;
   if (opts.resume && !opts.manifest_path.empty()) done = load_manifest(opts.manifest_path);
 
   std::ofstream manifest;

@@ -30,6 +30,8 @@ void FtTableSink::begin(const CampaignSpec& spec, const std::vector<JobSpec>&) {
 }
 
 void FtTableSink::emit(const JobRecord& record) {
+  // Serialised by the engine's emitter lock (see the header's threading
+  // contract); col_cursor_/sums_ need no lock of their own.
   if (col_cursor_ == 0) std::fprintf(out_, "%-8s", record.mix.c_str());
   if (record.ok()) {
     std::fprintf(out_, " %14.4f", record.ft);

@@ -3,6 +3,14 @@
 // completions — fittingly, a reorder buffer for experiment results), so a
 // sink never needs its own ordering logic and a parallel campaign's output
 // is byte-identical to a serial one's.
+//
+// Threading contract: sinks are externally synchronised. begin()/end() run
+// on the campaign thread before the pool starts / after it drains, and
+// every emit() happens under the in-order emitter's Mutex (engine.cpp), so
+// sink implementations keep mutable state without locks of their own — but
+// must not assume which thread calls emit(). tlrob-lint rule C1 watches
+// this file: any mutex that does appear here must carry GUARDED_BY
+// annotations (common/thread_annotations.hpp).
 #pragma once
 
 #include <iosfwd>

@@ -28,7 +28,7 @@ WorkStealingPool::WorkStealingPool(u32 threads) {
 WorkStealingPool::~WorkStealingPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -39,13 +39,13 @@ void WorkStealingPool::submit(std::function<void()> task) {
   u64 slot;
   const bool own = tl_pool == this;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     ++unfinished_;
     slot = own ? tl_index : next_victim_++ % queues_.size();
   }
   {
     Worker& w = *queues_[slot];
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(w.mu);
     if (own)
       w.deque.push_front(std::move(task));  // LIFO for the owner
     else
@@ -57,7 +57,7 @@ void WorkStealingPool::submit(std::function<void()> task) {
 bool WorkStealingPool::take_task(u32 self, std::function<void()>& out) {
   {
     Worker& mine = *queues_[self];
-    std::lock_guard<std::mutex> lock(mine.mu);
+    MutexLock lock(mine.mu);
     if (!mine.deque.empty()) {
       out = std::move(mine.deque.front());
       mine.deque.pop_front();
@@ -67,7 +67,7 @@ bool WorkStealingPool::take_task(u32 self, std::function<void()>& out) {
   // Steal the oldest task from the first non-empty victim.
   for (size_t i = 1; i < queues_.size(); ++i) {
     Worker& victim = *queues_[(self + i) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.deque.empty()) {
       out = std::move(victim.deque.back());
       victim.deque.pop_back();
@@ -84,11 +84,11 @@ void WorkStealingPool::worker_loop(u32 self) {
     std::function<void()> task;
     if (take_task(self, task)) {
       task();
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(state_mu_);
       if (--unfinished_ == 0) idle_cv_.notify_all();
       continue;
     }
-    std::unique_lock<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     if (stopping_) return;
     // Re-probe after a bounded nap: a task may have been enqueued between
     // the failed take and acquiring the lock, and the bounded wait keeps
@@ -99,8 +99,8 @@ void WorkStealingPool::worker_loop(u32 self) {
 }
 
 void WorkStealingPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(state_mu_);
-  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(state_mu_);
+  while (unfinished_ != 0) idle_cv_.wait(lock);
 }
 
 }  // namespace tlrob::runner

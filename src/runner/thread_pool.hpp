@@ -7,15 +7,22 @@
 // correct under TSan over lock-free cleverness — campaign jobs run for
 // milliseconds to minutes, so per-deque mutexes are nowhere near the
 // bottleneck.
+//
+// Lock discipline (statically checked under Clang via -Wthread-safety and
+// the tlrob::Mutex capability annotations): every shared field names the
+// mutex that guards it, per-worker deques are guarded by their worker's own
+// mu, and the pool-wide accounting (unfinished_, next_victim_, stopping_)
+// by state_mu_. A worker never holds two locks at once except submit/steal
+// taking state_mu_ then one worker mu, which is the fixed acquisition order.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace tlrob::runner {
@@ -46,8 +53,8 @@ class WorkStealingPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> deque;
+    Mutex mu;  // guards this worker's deque only
+    std::deque<std::function<void()>> deque TLROB_GUARDED_BY(mu);
   };
 
   void worker_loop(u32 self);
@@ -56,12 +63,12 @@ class WorkStealingPool {
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex state_mu_;
-  std::condition_variable work_cv_;  // workers sleep here when starved
-  std::condition_variable idle_cv_;  // wait_idle sleeps here
-  u64 unfinished_ = 0;               // submitted, not yet completed
-  u64 next_victim_ = 0;              // round-robin submit cursor
-  bool stopping_ = false;
+  Mutex state_mu_;  // guards the pool-wide accounting below
+  CondVar work_cv_;  // workers sleep here when starved
+  CondVar idle_cv_;  // wait_idle sleeps here
+  u64 unfinished_ TLROB_GUARDED_BY(state_mu_) = 0;   // submitted, not yet completed
+  u64 next_victim_ TLROB_GUARDED_BY(state_mu_) = 0;  // round-robin submit cursor
+  bool stopping_ TLROB_GUARDED_BY(state_mu_) = false;
 };
 
 }  // namespace tlrob::runner

@@ -1,7 +1,7 @@
 #include "sim/smt_sim.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <chrono>  // tlrob-lint: allow(D2) host self-profiler time source, never architectural state
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -61,8 +61,10 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
     ts.ctx = std::make_unique<ThreadContext>(benchmarks_[t], base,
                                              cfg.seed + 7919ULL * (t + 1));
     const Program& prog = ts.ctx->program();
+    ts.block_of_pc.reserve(prog.num_blocks());
     for (u32 b = 0; b < prog.num_blocks(); ++b)
       ts.block_of_pc.emplace(prog.block(b).insts.front().pc, b);
+    ts.block_of_pc.seal();
   }
 
   std::vector<ReorderBuffer*> robs;
@@ -719,9 +721,8 @@ DynInst SmtCore::make_correct_path_inst(ThreadState& ts, ThreadId tid) {
       if (di.op == OpClass::kBranch) {
         ts.wp_block = di.pred.taken ? op.si->taken_block : bb.fallthrough;
       } else {  // mispredicted return: steer by the (wrong) RAS target
-        auto it = ts.block_of_pc.find(di.pred.target);
-        if (it != ts.block_of_pc.end())
-          ts.wp_block = it->second;
+        if (const u32* block = ts.block_of_pc.find(di.pred.target))
+          ts.wp_block = *block;
         else
           ts.wp_dead = true;
       }
@@ -766,12 +767,12 @@ DynInst SmtCore::make_wrong_path_inst(ThreadState& ts, ThreadId tid) {
     di.taken = di.pred.taken;
     di.actual_target = di.pred.target;
     if (si.op == OpClass::kReturn) {
-      auto it = ts.block_of_pc.find(di.pred.target);
-      if (it == ts.block_of_pc.end()) {
+      const u32* block = ts.block_of_pc.find(di.pred.target);
+      if (block == nullptr) {
         ts.wp_dead = true;  // fell off the CFG; stall until the squash
         return di;
       }
-      next_block = it->second;
+      next_block = *block;
     } else {
       next_block = di.pred.taken ? si.taken_block : bb.fallthrough;
     }
@@ -874,11 +875,12 @@ bool SmtCore::tick_impl() {
   // The profiled instantiation brackets each stage with steady_clock reads;
   // the plain one compiles `lap` to nothing, so both share this body and the
   // stage sequence cannot drift between them.
+  // tlrob-lint: allow(D2) profiler reads host time; it feeds SelfProfiler only
   std::chrono::steady_clock::time_point t0;
-  if constexpr (Profiled) t0 = std::chrono::steady_clock::now();
+  if constexpr (Profiled) t0 = std::chrono::steady_clock::now();  // tlrob-lint: allow(D2) profiler
   auto lap = [&](obs::Phase ph) {
     if constexpr (Profiled) {
-      const auto t1 = std::chrono::steady_clock::now();
+      const auto t1 = std::chrono::steady_clock::now();  // tlrob-lint: allow(D2) profiler
       u64 dt = static_cast<u64>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
       // Time already attributed to the cross-cutting kMemory/kPredict

@@ -24,10 +24,11 @@
 // execution; tests/golden pins that.
 #pragma once
 
-#include <chrono>
+#include <chrono>  // tlrob-lint: allow(D2) host self-profiler time source, never architectural state
 #include <memory>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.hpp"
 
 #include "branch/load_hit_predictor.hpp"
 #include "branch/predictor.hpp"
@@ -143,7 +144,9 @@ class SmtCore {
     /// Fetched, awaiting dispatch (oldest front). Sized for the fetch buffer
     /// plus the whole ROB slab: FLUSH un-dispatch pushes a full window back.
     RingDeque<DynInst> frontend;
-    std::unordered_map<Addr, u32> block_of_pc;
+    /// Block index by entry PC. Sealed at construction; sorted flat storage
+    /// so any future iteration (or emission) of it is deterministic (D1).
+    FlatMap<Addr, u32> block_of_pc;
 
     u64 next_tseq = 1;
     u64 committed = 0;
@@ -280,14 +283,17 @@ class SmtCore {
   struct ProfScope {
     SmtCore* core;
     obs::Phase phase;
+    // tlrob-lint: allow(D2) profiler scope reads host time; feeds SelfProfiler only
     std::chrono::steady_clock::time_point t0;
     ProfScope(SmtCore* c, obs::Phase p) : core(c), phase(p) {
-      if (core->prof_detail_) t0 = std::chrono::steady_clock::now();
+      if (core->prof_detail_) t0 = std::chrono::steady_clock::now();  // tlrob-lint: allow(D2) profiler
     }
     ~ProfScope() {
       if (!core->prof_detail_) return;
+      // tlrob-lint: allow(D2) profiler scope exit: host-time delta for SelfProfiler
       const u64 dt = static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                          std::chrono::steady_clock::now() - t0)
+                                          std::chrono::steady_clock::now() -  // tlrob-lint: allow(D2) profiler
+                                          t0)
                                           .count());
       core->profiler_.add(phase, dt);
       core->prof_steal_ns_ += dt;

@@ -1,0 +1,17 @@
+// tlrob-lint fixture: annotated locking C1 must NOT flag.
+// Every declared mutex is named by at least one TLROB_GUARDED_BY /
+// TLROB_PT_GUARDED_BY annotation. Expected findings: none.
+#include <cstdint>
+
+#define TLROB_CAPABILITY(x)
+#define TLROB_GUARDED_BY(x)
+#define TLROB_PT_GUARDED_BY(x)
+
+class TLROB_CAPABILITY("mutex") Mutex {};
+
+class Emitter {
+ private:
+  Mutex mu_;
+  std::uint64_t records_ TLROB_GUARDED_BY(mu_) = 0;
+  std::uint64_t* sink_ TLROB_PT_GUARDED_BY(mu_) = nullptr;
+};

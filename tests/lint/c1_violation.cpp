@@ -1,0 +1,15 @@
+// tlrob-lint fixture: seeded C1 violation (never compiled, only lexed).
+// A mutex that no TLROB_GUARDED_BY / TLROB_PT_GUARDED_BY names guards
+// nothing the thread-safety analysis can see. Expected findings: one, on
+// the orphan_mu_ declaration.
+#include <cstdint>
+#include <mutex>
+
+class Emitter {
+ public:
+  void bump() { ++records_; }
+
+ private:
+  std::mutex orphan_mu_;  // C1: guards nothing
+  std::uint64_t records_ = 0;
+};

@@ -1,0 +1,18 @@
+// tlrob-lint fixture: RAII locking C2 must NOT flag. Expected findings:
+// none — MutexLock releases on every exit path, and lock()/unlock() as
+// *member function definitions* (the wrapper itself) are not call sites.
+struct Mutex;
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+extern Mutex mu;
+extern int shared_value;
+
+int read_value(bool fast_path) {
+  MutexLock lock(mu);
+  if (fast_path) return shared_value;
+  return shared_value * 2;
+}

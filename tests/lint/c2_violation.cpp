@@ -1,0 +1,27 @@
+// tlrob-lint fixture: seeded C2 violations (never compiled, only lexed).
+// Naked .lock()/.unlock() pairs leak the mutex on every early return and
+// exception path. Expected findings: the .lock(), the .try_lock(), and the
+// .unlock() calls.
+#include <mutex>
+
+std::mutex mu;
+int shared_value;
+
+int read_value(bool fast_path) {
+  mu.lock();  // C2: naked lock
+  if (fast_path) {
+    int v = shared_value;
+    mu.unlock();  // C2: naked unlock
+    return v;
+  }
+  int v = shared_value * 2;
+  mu.unlock();  // C2: naked unlock
+  return v;
+}
+
+bool try_read(int* out) {
+  if (!mu.try_lock()) return false;  // C2: naked try_lock
+  *out = shared_value;
+  mu.unlock();  // C2: naked unlock
+  return true;
+}

@@ -1,0 +1,26 @@
+// tlrob-lint fixture: the determinism-safe shapes D1 must NOT flag.
+// Unordered containers are fine as lookup tables; only iterating one in an
+// emission path is a violation. Expected findings: none.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void emit_stats(const std::unordered_map<std::string, int>& lookup,
+                const std::vector<std::string>& names) {
+  // Point lookups into an unordered container: fine.
+  const auto hit = lookup.find("core.commit.insts");
+  if (hit != lookup.end()) std::printf("found %d\n", hit->second);
+
+  // Emission iterates a deterministically ordered structure, with the
+  // unordered container used only for point lookups.
+  std::map<std::string, int> ordered;
+  for (const std::string& name : names) {
+    const auto it = lookup.find(name);
+    if (it != lookup.end()) ordered.emplace(name, it->second);
+  }
+  for (const auto& [name, value] : ordered) {
+    std::printf("%s=%d\n", name.c_str(), value);
+  }
+}

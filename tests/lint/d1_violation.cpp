@@ -1,0 +1,15 @@
+// tlrob-lint fixture: seeded D1 violations (never compiled, only lexed).
+// Expected findings: range-for over an unordered_map (line of the `for`),
+// plus an explicit .begin() iterator walk.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void emit_stats(const std::unordered_map<std::string, int>& counters_by_name) {
+  std::unordered_map<std::string, int> local = counters_by_name;
+  for (const auto& [name, value] : local) {  // D1: hash-order reaches stdout
+    std::printf("%s=%d\n", name.c_str(), value);
+  }
+  auto it = local.begin();  // D1: explicit iterator walk
+  (void)it;
+}

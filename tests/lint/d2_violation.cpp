@@ -1,0 +1,19 @@
+// tlrob-lint fixture: seeded D2 violations (never compiled, only lexed).
+// Expected findings: the <random> and <ctime> includes, a random_device
+// declaration, rand()/time() calls, and a pointer-keyed map.
+#include <map>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct DynInst;
+
+unsigned roll_latency() {
+  std::random_device rd;  // D2: host entropy
+  unsigned r = static_cast<unsigned>(rand());  // D2: libc PRNG
+  unsigned t = static_cast<unsigned>(time(nullptr));  // D2: wall clock
+  return rd() + r + t;
+}
+
+// D2: address-order key — ASLR reshuffles iteration order across runs.
+std::map<DynInst*, unsigned> inflight_by_pointer;

@@ -1,0 +1,20 @@
+// tlrob-lint fixture: D3-clean counter usage against d3_registry_clean.md.
+// Every literal matches a registry entry (unprefixed component literals via
+// the merged-name suffix, dynamic families via the pattern), and every
+// exact registry entry is referenced. Expected findings: none.
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct StatGroup {
+  std::uint64_t& counter(const std::string&);
+  double& average(const std::string&);
+};
+
+void count_events(StatGroup& stats, std::map<std::string, std::uint64_t>& counters,
+                  unsigned tid, std::uint64_t cycles) {
+  stats.counter("frobs") += 1;                              // widget.frobs
+  stats.average("defrags") += 0.5;                          // widget.defrags
+  stats.counter("thread." + std::to_string(tid)) += 1;      // widget.thread.*
+  counters["top.total_cycles"] = cycles;                    // exact
+}

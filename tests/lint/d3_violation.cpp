@@ -1,0 +1,15 @@
+// tlrob-lint fixture: seeded D3 violations against d3_registry_violation.md.
+// Expected findings: "unregistered_counter" has no registry entry (forward
+// direction), and the registry's "widget.ghost_counter" is referenced by no
+// code (reverse direction, reported against the registry file).
+#include <cstdint>
+#include <string>
+
+struct StatGroup {
+  std::uint64_t& counter(const std::string&);
+};
+
+void count_events(StatGroup& stats) {
+  stats.counter("frobs") += 1;                 // registered: widget.frobs
+  stats.counter("unregistered_counter") += 1;  // D3: not in the registry
+}

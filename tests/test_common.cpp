@@ -1,10 +1,14 @@
-// Unit tests for the common utilities: RNG, stats, histogram, options.
+// Unit tests for the common utilities: RNG, stats, histogram, options,
+// and the determinism-safe FlatMap.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -175,6 +179,68 @@ TEST(Histogram, PercentileSaturatingLastBucket) {
   EXPECT_EQ(h.percentile(100.0), h.max_value());
   EXPECT_EQ(h.percentile(100.0), 7u);
   EXPECT_EQ(h.percentile(10.0), 3u);
+}
+
+TEST(FlatMap, LookupAndMisses) {
+  FlatMap<u64, u32> m;
+  m.reserve(3);
+  m.emplace(30, 3);
+  m.emplace(10, 1);
+  m.emplace(20, 2);
+  EXPECT_FALSE(m.sealed());
+  m.seal();
+  ASSERT_TRUE(m.sealed());
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(10), nullptr);
+  EXPECT_EQ(*m.find(10), 1u);
+  EXPECT_EQ(*m.find(20), 2u);
+  EXPECT_EQ(*m.find(30), 3u);
+  EXPECT_EQ(m.find(15), nullptr);
+  EXPECT_EQ(m.find(0), nullptr);
+  EXPECT_EQ(m.find(31), nullptr);
+  EXPECT_TRUE(m.contains(20));
+  EXPECT_FALSE(m.contains(25));
+}
+
+TEST(FlatMap, FirstInsertionWinsLikeUnorderedEmplace) {
+  FlatMap<std::string, int> m;
+  m.emplace("pc", 1);
+  m.emplace("pc", 2);  // duplicate: discarded at seal(), like emplace()
+  m.emplace("sp", 7);
+  m.seal();
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find("pc"), nullptr);
+  EXPECT_EQ(*m.find("pc"), 1);
+}
+
+TEST(FlatMap, IterationIsKeySortedRegardlessOfInsertionOrder) {
+  const std::vector<u64> keys = {9, 2, 7, 4, 2, 9, 1};
+  FlatMap<u64, u64> forward, reversed;
+  for (const u64 k : keys) forward.emplace(k, k * 10);
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) reversed.emplace(*it, *it * 10);
+  forward.seal();
+  reversed.seal();
+
+  std::vector<u64> order;
+  for (const auto& [k, v] : forward) {
+    EXPECT_EQ(v, k * 10);
+    order.push_back(k);
+  }
+  EXPECT_EQ(order, (std::vector<u64>{1, 2, 4, 7, 9}));
+  // The key sequence (though not necessarily the dup-resolved values) is
+  // insertion-order independent — the D1 property block_of_pc relies on.
+  std::vector<u64> order_rev;
+  for (const auto& [k, v] : reversed) order_rev.push_back(k);
+  EXPECT_EQ(order, order_rev);
+}
+
+TEST(FlatMap, EmptyMapBehaves) {
+  FlatMap<u64, u32> m;
+  m.seal();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.begin(), m.end());
 }
 
 TEST(Options, ParsesKeyValueAndFlags) {

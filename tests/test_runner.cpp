@@ -5,8 +5,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "runner/cli.hpp"
 #include "runner/engine.hpp"
@@ -302,6 +305,63 @@ TEST(RunnerEngine, ResumeFromManifestSkipsCompletedCells) {
     EXPECT_EQ(res.ok, 0u);
   }
   std::remove(manifest.c_str());
+}
+
+TEST(RunnerEngine, ResumeIsManifestLineOrderIndependent) {
+  // The manifest is journalled in completion order, which varies with
+  // worker count and crash timing. load_manifest keys an ordered map (lint
+  // rule D1), so the emitted campaign must be byte-identical no matter how
+  // the journal lines are permuted on disk.
+  const std::string manifest = temp_path("tlrob_shuffle_manifest");
+  const std::string reversed = temp_path("tlrob_shuffle_manifest_rev");
+  std::remove(manifest.c_str());
+
+  const CampaignSpec spec = small_spec("shuffle_campaign");
+  {
+    EngineOptions eng;
+    eng.jobs = 1;
+    eng.manifest_path = manifest;
+    const CampaignResult res = run_campaign(spec, eng);
+    EXPECT_EQ(res.ok, 4u);
+  }
+
+  // Rewrite the journal with its lines reversed (an adversarial completion
+  // order), plus noise a crash could leave behind.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(manifest);
+    std::string line;
+    while (std::getline(in, line))
+      if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  {
+    std::ofstream out(reversed);
+    out << "\n";  // blank line: skipped
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it) out << *it << "\n";
+    out << "{truncated by a crash";  // malformed tail: skipped
+  }
+
+  auto resume_json = [&](const std::string& path) {
+    std::ostringstream json;
+    JsonlSink jsink(json);
+    EngineOptions eng;
+    eng.jobs = 1;
+    eng.manifest_path = path;
+    eng.resume = true;
+    eng.sinks = {&jsink};
+    const CampaignResult res = run_campaign(spec, eng);
+    EXPECT_EQ(res.resumed, 4u);
+    EXPECT_EQ(res.ok, 0u);
+    return json.str();
+  };
+  const std::string from_journal_order = resume_json(manifest);
+  const std::string from_reversed = resume_json(reversed);
+  EXPECT_FALSE(from_journal_order.empty());
+  EXPECT_EQ(from_journal_order, from_reversed);
+
+  std::remove(manifest.c_str());
+  std::remove(reversed.c_str());
 }
 
 TEST(RunnerCli, ParsesMixedOptionForms) {

@@ -25,17 +25,18 @@ Exit status: 0 = no regression, 1 = regression, 2 = usage/format error.
 import argparse
 import json
 import sys
+from typing import Any, NoReturn
 
 METRIC = "sim_cycles/s"
 
 
-def usage_error(msg):
+def usage_error(msg: str) -> NoReturn:
     """Exit 2 (usage/format error) with a one-line diagnostic, no traceback."""
     print(msg, file=sys.stderr)
     sys.exit(2)
 
 
-def load_json(path, what):
+def load_json(path: str, what: str) -> Any:
     """Load a JSON file, exiting 2 with a one-line diagnostic (no traceback)
     when it is missing, unreadable, or not JSON."""
     try:
@@ -47,13 +48,13 @@ def load_json(path, what):
         usage_error(f"error: {what} {path} is not valid JSON: {e}")
 
 
-def load_current(path):
+def load_current(path: str) -> dict[str, float]:
     """Map benchmark name -> sim_cycles/s, preferring median aggregates."""
     data = load_json(path, "current-run file")
     if not isinstance(data, dict):
         usage_error(f"error: current-run file {path} is not a JSON object")
-    medians = {}
-    singles = {}
+    medians: dict[str, float] = {}
+    singles: dict[str, float] = {}
     for row in data.get("benchmarks", []):
         if METRIC not in row:
             continue
@@ -67,7 +68,7 @@ def load_current(path):
     return medians if medians else singles
 
 
-def main():
+def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True, help="BENCH_sim_speed.json")
     ap.add_argument("--current", required=True, help="google-benchmark JSON output")
@@ -115,7 +116,7 @@ def main():
         return 2
 
     compared = 0
-    failed = []
+    failed: list[tuple[str, float]] = []
     print(f"baseline: {newest.get('label', '?')} ({newest.get('date', '?')})")
     print(f"tolerance: -{default_tol:g}% (per-benchmark overrides apply)")
     for name, base in sorted(newest.get("benchmarks", {}).items()):

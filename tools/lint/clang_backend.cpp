@@ -1,0 +1,106 @@
+// Clang LibTooling backend for tlrob-lint (compiled only when CMake finds
+// the Clang dev libraries and TLROB_LINT_CLANG is ON; see tools/CMakeLists).
+//
+// Re-checks the two rules where real type information beats token matching:
+//   D1  range-for statements whose range expression's type involves an
+//       unordered container, in emission-path files;
+//   D2  references to banned nondeterminism functions/types in simulator-
+//       core files.
+// The driver merges these findings with the token backend's (dedup by
+// rule/file/line), so the AST backend only ever adds precision, never
+// removes coverage — and a toolchain without Clang still runs everything.
+#include "lint/lint.hpp"
+
+#if defined(TLROB_LINT_HAVE_CLANG)
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+namespace tlrob::lint {
+
+namespace {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+struct Collector : public MatchFinder::MatchCallback {
+  std::vector<Finding>* out;
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const SourceManager& sm = *result.SourceManager;
+    auto report = [&](SourceLocation loc, const char* rule, std::string msg) {
+      if (loc.isInvalid() || !sm.isInMainFile(loc)) return;
+      out->push_back(Finding{rule, std::string(sm.getFilename(loc)),
+                             sm.getSpellingLineNumber(loc), std::move(msg)});
+    };
+    if (const auto* loop = result.Nodes.getNodeAs<CXXForRangeStmt>("d1_loop"))
+      report(loop->getBeginLoc(), "D1",
+             "range-for over an unordered container in an emission path (AST backend)");
+    if (const auto* call = result.Nodes.getNodeAs<CallExpr>("d2_call"))
+      report(call->getBeginLoc(), "D2",
+             "call to a nondeterministic host function in the simulator core (AST backend)");
+    if (const auto* decl = result.Nodes.getNodeAs<VarDecl>("d2_type"))
+      report(decl->getBeginLoc(), "D2",
+             "nondeterministic source type in the simulator core (AST backend)");
+  }
+};
+
+}  // namespace
+
+std::vector<Finding> run_clang_backend(const std::string& compile_db_dir,
+                                       const std::vector<std::string>& files,
+                                       const LintOptions& opts) {
+  std::vector<Finding> findings;
+
+  std::string db_error;
+  auto db = tooling::CompilationDatabase::loadFromDirectory(compile_db_dir, db_error);
+  if (!db) return findings;
+
+  // Only TUs a rule is scoped to — AST runs are expensive.
+  std::vector<std::string> targets;
+  for (const std::string& f : files)
+    if (f.size() > 4 && f.compare(f.size() - 4, 4, ".cpp") == 0 &&
+        (opts.all_scopes || in_scope("D1", f) || in_scope("D2", f)))
+      targets.push_back(f);
+  if (targets.empty()) return findings;
+
+  const auto unordered_type = hasType(hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(hasAnyName("::std::unordered_map", "::std::unordered_set",
+                                              "::std::unordered_multimap",
+                                              "::std::unordered_multiset"))))));
+
+  Collector collector;
+  collector.out = &findings;
+  MatchFinder finder;
+  finder.addMatcher(
+      cxxForRangeStmt(hasRangeInit(expr(anyOf(unordered_type, ignoringImplicit(unordered_type)))))
+          .bind("d1_loop"),
+      &collector);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand", "::time", "::clock",
+                                              "::gettimeofday", "::clock_gettime", "::getpid"))))
+          .bind("d2_call"),
+      &collector);
+  finder.addMatcher(
+      varDecl(hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+                  cxxRecordDecl(hasAnyName("::std::random_device", "::std::mt19937",
+                                           "::std::mt19937_64")))))))
+          .bind("d2_type"),
+      &collector);
+
+  tooling::ClangTool tool(*db, targets);
+  tool.run(tooling::newFrontendActionFactory(&finder).get());
+
+  // Post-filter by rule scope (the AST match gave absolute paths).
+  std::vector<Finding> scoped;
+  for (Finding& f : findings)
+    if (opts.all_scopes || in_scope(f.rule, f.path)) scoped.push_back(std::move(f));
+  return scoped;
+}
+
+}  // namespace tlrob::lint
+
+#endif  // TLROB_LINT_HAVE_CLANG

@@ -1,0 +1,231 @@
+#include "lint/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tlrob::lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Splits "D1,C2" (or "D1, C2") into rule ids.
+std::vector<std::string> split_rule_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Harvests `tlrob-lint: allow(...)` / `allow-file(...)` from comment text.
+void parse_directives(LexedFile& out, const std::string& comment, u32 line) {
+  const std::string tag = "tlrob-lint:";
+  size_t pos = comment.find(tag);
+  while (pos != std::string::npos) {
+    size_t p = pos + tag.size();
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+    const bool file_wide = comment.compare(p, 11, "allow-file(") == 0;
+    const bool line_wide = !file_wide && comment.compare(p, 6, "allow(") == 0;
+    if (file_wide || line_wide) {
+      const size_t open = comment.find('(', p);
+      const size_t close = comment.find(')', open == std::string::npos ? p : open);
+      if (open != std::string::npos && close != std::string::npos) {
+        for (const std::string& id : split_rule_list(comment.substr(open + 1, close - open - 1))) {
+          if (file_wide)
+            out.file_allows.push_back(id);
+          else
+            out.line_allows[line].push_back(id);
+        }
+      }
+    }
+    pos = comment.find(tag, pos + tag.size());
+  }
+}
+
+}  // namespace
+
+bool LexedFile::allowed(const std::string& id, u32 line) const {
+  auto hit = [&](const std::vector<std::string>& ids) {
+    return std::find(ids.begin(), ids.end(), id) != ids.end() ||
+           std::find(ids.begin(), ids.end(), "*") != ids.end();
+  };
+  if (hit(file_allows)) return true;
+  // A directive covers its own line and the next one (standalone-comment
+  // style); look back at most one line from the finding.
+  for (u32 l : {line, line == 0 ? 0 : line - 1}) {
+    const auto it = line_allows.find(l);
+    if (it != line_allows.end() && hit(it->second)) return true;
+  }
+  return false;
+}
+
+LexedFile lex_source(std::string path, const std::string& text) {
+  LexedFile out;
+  out.path = std::move(path);
+  out.display_path = out.path;
+
+  const size_t n = text.size();
+  size_t i = 0;
+  u32 line = 1;
+  bool line_begins_pp = false;  // saw '#' as first non-space token on this line
+
+  auto push = [&](Token::Kind k, std::string t, u32 ln) {
+    out.tokens.push_back(Token{k, std::move(t), ln});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      line_begins_pp = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Comments (directive-bearing).
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const u32 start = line;
+      size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      parse_directives(out, text.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const u32 start = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      parse_directives(out, text.substr(i, std::min(n, j + 2) - i), start);
+      i = j + 2 > n ? n : j + 2;
+      continue;
+    }
+
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = text.find(closer, j);
+      const u32 start = line;
+      const size_t stop = end == std::string::npos ? n : end;
+      for (size_t k = i; k < stop; ++k)
+        if (text[k] == '\n') ++line;
+      push(Token::Kind::kString, text.substr(j + 1, stop - j - 1), start);
+      i = end == std::string::npos ? n : end + closer.size();
+      continue;
+    }
+
+    // String / char literals (escapes honoured, contents kept raw).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const u32 start = line;
+      size_t j = i + 1;
+      std::string content;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          content += text[j];
+          content += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') ++line;  // unterminated; keep line count sane
+        content += text[j++];
+      }
+      if (quote == '"') push(Token::Kind::kString, content, start);
+      i = j + 1 > n ? n : j + 1;
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      std::string word = text.substr(i, j - i);
+      // `#include <name>` header capture: after `# include`, a <...> target
+      // is a header-name, not a less-than expression.
+      if (line_begins_pp && word == "include") {
+        size_t k = j;
+        while (k < n && (text[k] == ' ' || text[k] == '\t')) ++k;
+        if (k < n && text[k] == '<') {
+          const size_t close = text.find('>', k);
+          if (close != std::string::npos) {
+            out.includes.emplace_back(line, text.substr(k + 1, close - k - 1));
+            i = close + 1;
+            continue;
+          }
+        } else if (k < n && text[k] == '"') {
+          const size_t close = text.find('"', k + 1);
+          if (close != std::string::npos) {
+            out.includes.emplace_back(line, text.substr(k + 1, close - k - 1));
+            i = close + 1;
+            continue;
+          }
+        }
+      }
+      push(Token::Kind::kIdent, std::move(word), line);
+      i = j;
+      continue;
+    }
+
+    // Numbers (pp-number: digits, dots, exponents, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' || text[j - 1] == 'p' ||
+                         text[j - 1] == 'P'))))
+        ++j;
+      push(Token::Kind::kNumber, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    // Punctuation; keep "::" and "->" fused (the rules key on them).
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      push(Token::Kind::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      push(Token::Kind::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+    if (c == '#') line_begins_pp = true;
+    push(Token::Kind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+
+  return out;
+}
+
+LexedFile lex_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw std::runtime_error("tlrob-lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lex_source(path, ss.str());
+}
+
+}  // namespace tlrob::lint

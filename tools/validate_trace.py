@@ -25,23 +25,24 @@ Usage:
 import argparse
 import json
 import sys
+from typing import Any, NoReturn
 
 THREAD_SAMPLE_KEYS = {
     "rob", "rob_cap", "iq", "lsq", "dod", "mlp", "dcra_iq_cap", "committed", "ipc",
 }
 
 
-def usage_error(msg):
+def usage_error(msg: str) -> NoReturn:
     print(f"error: {msg}", file=sys.stderr)
     sys.exit(2)
 
 
-def fail(msg):
+def fail(msg: str) -> NoReturn:
     print(f"INVALID: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def load_json(path, what):
+def load_json(path: str, what: str) -> Any:
     try:
         with open(path) as f:
             return json.load(f)
@@ -51,7 +52,7 @@ def load_json(path, what):
         fail(f"{what} {path} is not valid JSON: {e}")
 
 
-def validate_trace(path, require_grants):
+def validate_trace(path: str, require_grants: bool) -> None:
     doc = load_json(path, "trace file")
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         fail(f"{path}: no traceEvents key")
@@ -59,9 +60,9 @@ def validate_trace(path, require_grants):
     if not isinstance(events, list) or not events:
         fail(f"{path}: traceEvents is empty")
 
-    named_tids = set()
-    used_tids = set()
-    counts = {}
+    named_tids: set[int] = set()
+    used_tids: set[int] = set()
+    counts: dict[str, int] = {}
     for i, e in enumerate(events):
         for key in ("ph", "pid", "tid", "name"):
             if key not in e:
@@ -95,7 +96,7 @@ def validate_trace(path, require_grants):
           f"{len(named_tids)} named tracks, {grants} grant spans")
 
 
-def validate_series(path, interval):
+def validate_series(path: str, interval: int) -> None:
     try:
         with open(path) as f:
             lines = [ln for ln in f.read().splitlines() if ln]
@@ -104,8 +105,9 @@ def validate_series(path, interval):
     if not lines:
         fail(f"{path}: series is empty")
 
-    prev_cycle = None
-    num_threads = None
+    prev_cycle: int | None = None
+    num_threads: int | None = None
+    step = 0
     for i, line in enumerate(lines):
         try:
             s = json.loads(line)
@@ -138,7 +140,7 @@ def validate_series(path, interval):
           f"contiguous on the {step}-cycle grid")
 
 
-def main():
+def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
     ap.add_argument("--series", action="append", default=[],
