@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "sim/experiment.hpp"
+#include "trace/resolve.hpp"
 #include "workload/spec_profiles.hpp"
 
 using namespace tlrob;
@@ -80,6 +81,27 @@ void BM_CacheHierarchyStress(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CacheHierarchyStress)->Unit(benchmark::kMillisecond);
+
+// Trace-frontend throughput: drives TraceThreadSource::next() directly —
+// record decode, per-record replay (lookahead, address rebasing, target
+// resolution) and loop rewind, with no timing model behind it. The workload
+// is an in-memory synthesized trace (loaded and lowered once, outside the
+// timed region, via the resolve memo). Reported under the regression
+// guard's "sim_cycles/s" key so BENCH_sim_speed.json can track it; the unit
+// here is replayed uops, not cycles.
+void BM_TraceFrontendDecode(benchmark::State& state) {
+  const Benchmark bench = trace::resolve_benchmark("tracegen:art@20000@1");
+  constexpr u64 kUopsPerIter = 100000;
+  u64 uops = 0;
+  for (auto _ : state) {
+    auto src = bench.source_factory(bench, Addr{1} << 36, 1);
+    for (u64 i = 0; i < kUopsPerIter; ++i) benchmark::DoNotOptimize(src->next());
+    uops += kUopsPerIter;
+  }
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceFrontendDecode)->Unit(benchmark::kMillisecond);
 
 // Invariant-audit overhead: the four-thread two-level mix with the auditor
 // at each level, explicitly overriding any $TLROB_AUDIT ambient setting so

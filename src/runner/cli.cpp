@@ -8,6 +8,7 @@
 
 #include "runner/thread_pool.hpp"
 #include "sim/config_override.hpp"
+#include "trace/resolve.hpp"
 
 namespace tlrob::runner {
 
@@ -93,8 +94,18 @@ CampaignSpec custom_campaign(const Options& opts) {
     for (const u32 th : thresholds) spec.columns.push_back(scheme_column(scheme, th));
   }
 
+  const std::string workload = opts.get("workload", "");
   const auto mix_ids = opts.get_list("mixes");
-  if (mix_ids.empty()) {
+  if (!workload.empty()) {
+    if (!mix_ids.empty())
+      throw std::invalid_argument("--workload and --mixes are mutually exclusive");
+    const Mix mix = trace::workload_mix(workload);
+    // The workload list sets the thread count: a 2-entry trace mix runs a
+    // 2-thread machine under every column.
+    for (auto& c : spec.columns)
+      c.config.num_threads = static_cast<u32>(mix.benchmarks.size());
+    spec.mixes = {mix};
+  } else if (mix_ids.empty()) {
     spec.mixes = table2_mixes();
   } else {
     for (const auto& id : mix_ids)
@@ -149,6 +160,7 @@ int run_from_options(const std::string& preset, const Options& opts) {
     popts.render = render;
     popts.sample_interval = opts.get_u64("sample_interval", 0);
     popts.sample_dir = opts.get("sample_dir", "");
+    popts.workload = opts.get("workload", "");
     result = run_preset(preset, popts);
     campaign_name = preset;
   } else {

@@ -9,7 +9,7 @@
 #include "obs/interval_sampler.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/experiment.hpp"
-#include "workload/spec_profiles.hpp"
+#include "trace/resolve.hpp"
 
 namespace tlrob::runner {
 
@@ -29,8 +29,10 @@ JobRecord execute_job(const JobSpec& spec) {
     MachineConfig cfg = spec.config;
     cfg.seed = spec.seed;
     if (spec.sample_interval != 0) cfg.telemetry.sample_interval = spec.sample_interval;
-    const RunResult run =
-        run_benchmarks(cfg, mix_benchmarks(spec.mix), spec.insts, spec.max_cycles, spec.warmup);
+    // Workload resolution happens inside the try: a missing or malformed
+    // trace file fails this cell with a structured record, not the process.
+    const RunResult run = run_benchmarks(cfg, trace::resolve_mix_benchmarks(spec.mix),
+                                         spec.insts, spec.max_cycles, spec.warmup);
 
     rec.cycles = run.cycles;
     u64 fastest = 0;

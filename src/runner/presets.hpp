@@ -32,6 +32,11 @@ struct PresetOptions {
   /// files when sample_dir is set).
   u64 sample_interval = 0;
   std::string sample_dir;
+  /// Workload override (src/trace/resolve.hpp syntax): replaces the
+  /// preset's Table 2 mixes with this single mix — per-thread entry i runs
+  /// on hardware thread i — and sizes every column's machine to match.
+  /// Empty = the preset's own mixes.
+  std::string workload;
 };
 
 /// All preset names, in presentation order.

@@ -5,7 +5,7 @@
 #include <mutex>
 
 #include "common/sync.hpp"
-#include "workload/spec_profiles.hpp"
+#include "trace/resolve.hpp"
 
 namespace tlrob {
 
@@ -49,7 +49,7 @@ double single_thread_ipc(const std::string& benchmark, u64 commit_target) {
   }
   std::call_once(entry->once, [&] {
     const MachineConfig cfg = single_thread_config();
-    const RunResult r = run_benchmarks(cfg, {spec_benchmark(benchmark)}, commit_target);
+    const RunResult r = run_benchmarks(cfg, {trace::resolve_benchmark(benchmark)}, commit_target);
     entry->ipc = r.threads.at(0).ipc;
   });
   return entry->ipc;
@@ -57,7 +57,7 @@ double single_thread_ipc(const std::string& benchmark, u64 commit_target) {
 
 MixOutcome run_mix(const MachineConfig& cfg, const Mix& mix, u64 commit_target) {
   MixOutcome out;
-  out.run = run_benchmarks(cfg, mix_benchmarks(mix), commit_target);
+  out.run = run_benchmarks(cfg, trace::resolve_mix_benchmarks(mix), commit_target);
   for (const auto& t : out.run.threads) {
     out.mt_ipc.push_back(t.ipc);
     out.st_ipc.push_back(single_thread_ipc(t.benchmark, commit_target));

@@ -58,8 +58,10 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
                           cfg.frontend_buffer);
     ThreadState& ts = threads_.back();
     const Addr base = static_cast<Addr>(t + 1) << 36;
-    ts.ctx = std::make_unique<ThreadContext>(benchmarks_[t], base,
-                                             cfg.seed + 7919ULL * (t + 1));
+    const u64 salt = cfg.seed + 7919ULL * (t + 1);
+    ts.ctx = benchmarks_[t].source_factory
+                 ? benchmarks_[t].source_factory(benchmarks_[t], base, salt)
+                 : std::make_unique<ThreadContext>(benchmarks_[t], base, salt);
     const Program& prog = ts.ctx->program();
     ts.block_of_pc.reserve(prog.num_blocks());
     for (u32 b = 0; b < prog.num_blocks(); ++b)
@@ -1172,6 +1174,10 @@ RunResult SmtCore::snapshot_result() const {
   r.counters["rob2.allocations"] = second_.total_allocations();
   r.counters["rob2.busy_cycles"] = second_.busy_cycles(cycle_);
   r.counters["core.fast_forwarded_cycles"] = fast_forwarded_;
+  // Instruction sources merge last: the default hook is a no-op, so purely
+  // synthetic runs produce exactly the counter set they always did.
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t)
+    threads_[t].ctx->append_source_counters(t, r.counters);
   return r;
 }
 

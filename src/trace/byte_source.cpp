@@ -1,0 +1,125 @@
+#include "trace/byte_source.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(TLROB_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace tlrob::trace {
+
+std::size_t MemoryByteSource::read(u8* dst, std::size_t n) {
+  const std::vector<u8>& b = *bytes_;
+  const std::size_t got = std::min(n, b.size() - pos_);
+  if (got != 0) std::memcpy(dst, b.data() + pos_, got);
+  pos_ += got;
+  return got;
+}
+
+namespace {
+
+class RawFileByteSource final : public TraceByteSource {
+ public:
+  explicit RawFileByteSource(const std::string& path)
+      : path_(path), in_(path, std::ios::binary) {
+    if (!in_.is_open()) throw std::runtime_error("cannot open trace file: " + path);
+  }
+
+  std::size_t read(u8* dst, std::size_t n) override {
+    in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+    return static_cast<std::size_t>(in_.gcount());
+  }
+
+  void rewind() override {
+    in_.clear();
+    in_.seekg(0, std::ios::beg);
+    if (!in_) throw std::runtime_error("cannot rewind trace file: " + path_);
+  }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+};
+
+#if defined(TLROB_HAVE_ZLIB)
+class GzFileByteSource final : public TraceByteSource {
+ public:
+  explicit GzFileByteSource(const std::string& path) : path_(path) {
+    f_ = gzopen(path.c_str(), "rb");
+    if (f_ == nullptr) throw std::runtime_error("cannot open gzip trace file: " + path);
+    gzbuffer(f_, 1 << 16);
+  }
+
+  ~GzFileByteSource() override {
+    if (f_ != nullptr) gzclose(f_);
+  }
+
+  GzFileByteSource(const GzFileByteSource&) = delete;
+  GzFileByteSource& operator=(const GzFileByteSource&) = delete;
+
+  std::size_t read(u8* dst, std::size_t n) override {
+    const int got = gzread(f_, dst, static_cast<unsigned>(n));
+    if (got < 0) throw_gz_error();
+    if (static_cast<std::size_t>(got) < n) {
+      // Short read: distinguish clean end-of-stream from a stream cut off
+      // mid-deflate (zlib reports the latter via gzerror, not the return).
+      int code = Z_OK;
+      gzerror(f_, &code);
+      if (code != Z_OK && code != Z_STREAM_END) throw_gz_error();
+    }
+    return static_cast<std::size_t>(got);
+  }
+
+  void rewind() override {
+    if (gzrewind(f_) != 0) throw std::runtime_error("cannot rewind gzip trace file: " + path_);
+  }
+
+ private:
+  [[noreturn]] void throw_gz_error() const {
+    int code = Z_OK;
+    const char* msg = gzerror(f_, &code);
+    throw std::runtime_error("truncated or corrupt gzip stream in " + path_ + ": " +
+                             (msg != nullptr && *msg != '\0' ? msg : "unexpected end of data"));
+  }
+
+  std::string path_;
+  gzFile f_ = nullptr;
+};
+#endif
+
+bool has_gzip_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) throw std::runtime_error("cannot open trace file: " + path);
+  char magic[2] = {0, 0};
+  in.read(magic, 2);
+  return in.gcount() == 2 && static_cast<u8>(magic[0]) == 0x1f &&
+         static_cast<u8>(magic[1]) == 0x8b;
+}
+
+}  // namespace
+
+bool gzip_supported() {
+#if defined(TLROB_HAVE_ZLIB)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<TraceByteSource> open_trace_file(const std::string& path) {
+  if (has_gzip_magic(path)) {
+#if defined(TLROB_HAVE_ZLIB)
+    return std::make_unique<GzFileByteSource>(path);
+#else
+    throw std::runtime_error("trace file " + path +
+                             " is gzip-compressed but this build lacks zlib; "
+                             "decompress it first (zcat) or rebuild with zlib");
+#endif
+  }
+  return std::make_unique<RawFileByteSource>(path);
+}
+
+}  // namespace tlrob::trace

@@ -1,0 +1,55 @@
+// Rewindable byte streams feeding the trace decoder.
+//
+// Three backends: an in-memory buffer (synthesized traces, tests), a raw
+// file, and a gzip file (zlib inflate, compiled in when CMake finds ZLIB).
+// open_trace_file() sniffs the gzip magic so .champsim and .champsim.gz
+// inputs need no flag. Corrupt or truncated compressed streams throw
+// std::runtime_error — the campaign engine turns that into a structured
+// per-job failure, never a crash.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tlrob::trace {
+
+class TraceByteSource {
+ public:
+  virtual ~TraceByteSource() = default;
+
+  /// Reads up to `n` bytes into `dst`; returns the count actually read.
+  /// A short read means end-of-stream. Throws std::runtime_error on a
+  /// corrupt or prematurely-ended compressed stream.
+  virtual std::size_t read(u8* dst, std::size_t n) = 0;
+
+  /// Repositions to the first byte (loop-rewind support).
+  virtual void rewind() = 0;
+};
+
+/// Stream over a shared immutable buffer (uncompressed records).
+class MemoryByteSource final : public TraceByteSource {
+ public:
+  explicit MemoryByteSource(std::shared_ptr<const std::vector<u8>> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::size_t read(u8* dst, std::size_t n) override;
+  void rewind() override { pos_ = 0; }
+
+ private:
+  std::shared_ptr<const std::vector<u8>> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// True when gzip-compressed traces can be read (built against zlib).
+bool gzip_supported();
+
+/// Opens `path`, sniffing the gzip magic to pick the raw or inflating
+/// backend. Throws std::runtime_error when the file is missing or gzip'd
+/// while gzip support is not built.
+std::unique_ptr<TraceByteSource> open_trace_file(const std::string& path);
+
+}  // namespace tlrob::trace

@@ -1,0 +1,92 @@
+#include "trace/champsim.hpp"
+
+namespace tlrob::trace {
+
+namespace {
+
+void put_u64(u8* out, u64 v) {
+  for (u32 i = 0; i < 8; ++i) out[i] = static_cast<u8>(v >> (8 * i));
+}
+
+u64 get_u64(const u8* in) {
+  u64 v = 0;
+  for (u32 i = 0; i < 8; ++i) v |= static_cast<u64>(in[i]) << (8 * i);
+  return v;
+}
+
+bool reads(const ChampSimRecord& r, u8 reg) {
+  for (const u8 s : r.src_regs)
+    if (s == reg) return true;
+  return false;
+}
+
+bool writes(const ChampSimRecord& r, u8 reg) {
+  for (const u8 d : r.dest_regs)
+    if (d == reg) return true;
+  return false;
+}
+
+/// Reads any register other than SP/FLAGS/IP (ChampSim's "reads_other").
+bool reads_other(const ChampSimRecord& r) {
+  for (const u8 s : r.src_regs)
+    if (s != 0 && s != kRegStackPointer && s != kRegFlags && s != kRegInstructionPointer)
+      return true;
+  return false;
+}
+
+}  // namespace
+
+BranchKind classify_branch(const ChampSimRecord& rec) {
+  if (!rec.is_branch) return BranchKind::kNotBranch;
+  const bool rd_sp = reads(rec, kRegStackPointer);
+  const bool rd_flags = reads(rec, kRegFlags);
+  const bool rd_ip = reads(rec, kRegInstructionPointer);
+  const bool rd_other = reads_other(rec);
+  const bool wr_sp = writes(rec, kRegStackPointer);
+  const bool wr_ip = writes(rec, kRegInstructionPointer);
+
+  if (!rd_sp && !rd_flags && wr_ip && !rd_other) return BranchKind::kDirectJump;
+  if (!rd_sp && !rd_flags && wr_ip && rd_other) return BranchKind::kIndirectJump;
+  if (!rd_sp && rd_ip && !wr_sp && wr_ip && rd_flags && !rd_other)
+    return BranchKind::kConditional;
+  if (rd_sp && rd_ip && wr_sp && wr_ip && !rd_flags && !rd_other)
+    return BranchKind::kDirectCall;
+  if (rd_sp && rd_ip && wr_sp && wr_ip && !rd_flags && rd_other)
+    return BranchKind::kIndirectCall;
+  if (rd_sp && !rd_ip && wr_sp && wr_ip) return BranchKind::kReturn;
+  return BranchKind::kOther;
+}
+
+void serialize_record(const ChampSimRecord& rec, u8* out) {
+  put_u64(out, rec.ip);
+  out[8] = rec.is_branch;
+  out[9] = rec.branch_taken;
+  for (u32 i = 0; i < kNumDestRegs; ++i) out[10 + i] = rec.dest_regs[i];
+  for (u32 i = 0; i < kNumSrcRegs; ++i) out[12 + i] = rec.src_regs[i];
+  for (u32 i = 0; i < kNumDestMem; ++i) put_u64(out + 16 + 8 * i, rec.dest_mem[i]);
+  for (u32 i = 0; i < kNumSrcMem; ++i) put_u64(out + 32 + 8 * i, rec.src_mem[i]);
+}
+
+ChampSimRecord deserialize_record(const u8* in) {
+  ChampSimRecord rec;
+  rec.ip = get_u64(in);
+  rec.is_branch = in[8];
+  rec.branch_taken = in[9];
+  for (u32 i = 0; i < kNumDestRegs; ++i) rec.dest_regs[i] = in[10 + i];
+  for (u32 i = 0; i < kNumSrcRegs; ++i) rec.src_regs[i] = in[12 + i];
+  for (u32 i = 0; i < kNumDestMem; ++i) rec.dest_mem[i] = get_u64(in + 16 + 8 * i);
+  for (u32 i = 0; i < kNumSrcMem; ++i) rec.src_mem[i] = get_u64(in + 32 + 8 * i);
+  return rec;
+}
+
+u64 fnv1a_record(u64 h, const ChampSimRecord& rec) {
+  u8 bytes[kRecordBytes];
+  serialize_record(rec, bytes);
+  for (const u8 b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace tlrob::trace

@@ -1,0 +1,75 @@
+// ChampSim-compatible instruction-trace records.
+//
+// The on-disk format is ChampSim's `input_instr`: 64 bytes per dynamic
+// instruction, little-endian, usually gzip-compressed —
+//
+//   u64 ip;                        // instruction pointer
+//   u8  is_branch, branch_taken;
+//   u8  destination_registers[2];  // 0 = unused slot
+//   u8  source_registers[4];       // 0 = unused slot
+//   u64 destination_memory[2];     // store addresses, 0 = unused slot
+//   u64 source_memory[4];          // load addresses, 0 = unused slot
+//
+// Branch *kind* is not stored; ChampSim infers it from which of the special
+// registers (stack pointer, flags, instruction pointer) a branch reads and
+// writes. We implement the same inference so public ChampSim traces and the
+// traces tlrob-mktrace synthesizes decode identically.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace tlrob::trace {
+
+inline constexpr u32 kRecordBytes = 64;
+inline constexpr u32 kNumDestRegs = 2;
+inline constexpr u32 kNumSrcRegs = 4;
+inline constexpr u32 kNumDestMem = 2;
+inline constexpr u32 kNumSrcMem = 4;
+
+// ChampSim's special x86 register numbers (champsim::REG_*).
+inline constexpr u8 kRegStackPointer = 6;
+inline constexpr u8 kRegFlags = 25;
+inline constexpr u8 kRegInstructionPointer = 26;
+
+/// Register indices at or above this value are malformed (x86 traces use
+/// 0..~64; 128+ never appears in a well-formed ChampSim trace).
+inline constexpr u8 kMaxTraceReg = 128;
+
+struct ChampSimRecord {
+  u64 ip = 0;
+  u8 is_branch = 0;
+  u8 branch_taken = 0;
+  std::array<u8, kNumDestRegs> dest_regs{};
+  std::array<u8, kNumSrcRegs> src_regs{};
+  std::array<u64, kNumDestMem> dest_mem{};
+  std::array<u64, kNumSrcMem> src_mem{};
+};
+
+/// Branch kinds inferred ChampSim-style from register read/write sets.
+enum class BranchKind : u8 {
+  kNotBranch,
+  kDirectJump,
+  kIndirectJump,
+  kConditional,
+  kDirectCall,
+  kIndirectCall,
+  kReturn,
+  kOther,  // is_branch set but no known register pattern
+};
+
+/// ChampSim's branch classification (ooo_cpu.cc): which of SP/FLAGS/IP the
+/// instruction reads and writes determines the kind.
+BranchKind classify_branch(const ChampSimRecord& rec);
+
+/// Serialize to / deserialize from the 64-byte little-endian wire format.
+void serialize_record(const ChampSimRecord& rec, u8* out);
+ChampSimRecord deserialize_record(const u8* in);
+
+/// FNV-1a over a record's wire bytes, chained from `h` (seed with
+/// kFnvOffsetBasis). Used for trace content identity.
+inline constexpr u64 kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+u64 fnv1a_record(u64 h, const ChampSimRecord& rec);
+
+}  // namespace tlrob::trace

@@ -1,0 +1,125 @@
+#include "trace/synth.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(TLROB_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+#include "workload/spec_profiles.hpp"
+#include "workload/thread_context.hpp"
+
+namespace tlrob::trace {
+
+namespace {
+
+/// Micro-op register -> trace register. +1 keeps integer register 0 out of
+/// the trace's "unused slot" encoding; FP registers land on 33..64, matching
+/// the range map_trace_reg() folds back onto the FP file.
+u8 map_out(ArchReg r) { return r == kNoReg ? 0 : static_cast<u8>(r + 1); }
+
+/// Address 0 would read as an unused slot; fold it to a nearby nonzero one.
+u64 nonzero_addr(Addr a) { return a == 0 ? 8 : a; }
+
+ChampSimRecord transcribe(const ArchOp& op) {
+  const StaticInst& si = *op.si;
+  ChampSimRecord rec;
+  rec.ip = op.pc;
+  switch (si.op) {
+    // Control ops carry the fixed special-register read/write sets that make
+    // classify_branch() reproduce their kind; their data sources are dropped
+    // (ChampSim's classifier requires exact register patterns).
+    case OpClass::kBranch:
+      rec.is_branch = 1;
+      rec.branch_taken = op.taken ? 1 : 0;
+      rec.src_regs[0] = kRegInstructionPointer;
+      rec.src_regs[1] = kRegFlags;
+      rec.dest_regs[0] = kRegInstructionPointer;
+      break;
+    case OpClass::kJump:
+      rec.is_branch = 1;
+      rec.branch_taken = 1;
+      rec.dest_regs[0] = kRegInstructionPointer;
+      break;
+    case OpClass::kCall:
+      rec.is_branch = 1;
+      rec.branch_taken = 1;
+      rec.src_regs[0] = kRegInstructionPointer;
+      rec.src_regs[1] = kRegStackPointer;
+      rec.dest_regs[0] = kRegInstructionPointer;
+      rec.dest_regs[1] = kRegStackPointer;
+      break;
+    case OpClass::kReturn:
+      rec.is_branch = 1;
+      rec.branch_taken = 1;
+      rec.src_regs[0] = kRegStackPointer;
+      rec.dest_regs[0] = kRegInstructionPointer;
+      rec.dest_regs[1] = kRegStackPointer;
+      break;
+    default:
+      rec.dest_regs[0] = map_out(si.dest);
+      rec.src_regs[0] = map_out(si.src[0]);
+      rec.src_regs[1] = map_out(si.src[1]);
+      if (si.op == OpClass::kLoad) rec.src_mem[0] = nonzero_addr(op.mem_addr);
+      if (si.op == OpClass::kStore) rec.dest_mem[0] = nonzero_addr(op.mem_addr);
+      break;
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::vector<ChampSimRecord> synthesize_records(const std::string& profile, u64 records,
+                                               u64 seed) {
+  if (records == 0) throw std::invalid_argument("trace synthesis: record count must be > 0");
+  const Benchmark& bench = spec_benchmark(profile);
+  ThreadContext ctx(bench, /*addr_space_base=*/0, seed);
+  std::vector<ChampSimRecord> out;
+  out.reserve(records);
+  for (u64 i = 0; i < records; ++i) out.push_back(transcribe(ctx.next()));
+  return out;
+}
+
+std::vector<u8> records_to_bytes(const std::vector<ChampSimRecord>& records) {
+  std::vector<u8> bytes(records.size() * kRecordBytes);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    serialize_record(records[i], bytes.data() + i * kRecordBytes);
+  return bytes;
+}
+
+void write_trace_file(const std::string& path, const std::vector<ChampSimRecord>& records) {
+  const std::vector<u8> bytes = records_to_bytes(records);
+  const bool want_gz = path.size() > 3 && path.compare(path.size() - 3, 3, ".gz") == 0;
+  if (want_gz) {
+#if defined(TLROB_HAVE_ZLIB)
+    gzFile gz = gzopen(path.c_str(), "wb");
+    if (gz == nullptr) throw std::runtime_error("cannot open " + path + " for writing");
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const unsigned chunk =
+          static_cast<unsigned>(std::min<std::size_t>(bytes.size() - written, 1u << 20));
+      const int got = gzwrite(gz, bytes.data() + written, chunk);
+      if (got <= 0) {
+        gzclose(gz);
+        throw std::runtime_error("gzip write failed for " + path);
+      }
+      written += static_cast<std::size_t>(got);
+    }
+    if (gzclose(gz) != Z_OK) throw std::runtime_error("gzip close failed for " + path);
+#else
+    throw std::runtime_error("cannot write " + path +
+                             ": gzip output requires zlib, which this build lacks "
+                             "(drop the .gz suffix for a raw trace)");
+#endif
+  } else {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("write failed for " + path);
+  }
+}
+
+}  // namespace tlrob::trace

@@ -1,0 +1,35 @@
+// Deterministic trace synthesis from the synthetic SPEC profiles.
+//
+// Rather than invent a second workload model, synthesis *transcribes*: it
+// runs the existing ThreadContext over a spec profile (the same functional
+// walk SmtCore fetches from) and converts each correct-path micro-op into
+// one ChampSim record — PCs from the finalized program, memory addresses
+// from the address generators, branch outcomes from the outcome generators,
+// and the register read/write conventions ChampSim's branch classifier
+// expects. Same (profile, records, seed) in, bit-identical trace out; this
+// is what lets tests and CI exercise the whole trace frontend without any
+// external trace file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/champsim.hpp"
+
+namespace tlrob::trace {
+
+/// Runs `profile` (a spec_profiles.hpp benchmark name) for `records`
+/// instructions and transcribes the stream. Throws std::out_of_range for an
+/// unknown profile, std::invalid_argument for records == 0.
+std::vector<ChampSimRecord> synthesize_records(const std::string& profile, u64 records,
+                                               u64 seed);
+
+/// Wire-format serialization of a record sequence.
+std::vector<u8> records_to_bytes(const std::vector<ChampSimRecord>& records);
+
+/// Writes records to `path`: gzip-compressed when the path ends in ".gz"
+/// (requires zlib, throws otherwise), raw 64-byte records else. Throws
+/// std::runtime_error on IO failure.
+void write_trace_file(const std::string& path, const std::vector<ChampSimRecord>& records);
+
+}  // namespace tlrob::trace

@@ -1,7 +1,8 @@
-// The 11 four-thread workload mixes of the paper's Table 2.
+// The 11 four-thread workload mixes of the paper's Table 2, plus the Mix
+// struct itself, which any workload combination (including 2- or 3-thread
+// trace mixes, src/trace/resolve.hpp) is expressed through.
 #pragma once
 
-#include <array>
 #include <string>
 #include <vector>
 
@@ -10,9 +11,9 @@
 namespace tlrob {
 
 struct Mix {
-  std::string name;                          // "Mix 1" .. "Mix 11"
-  std::array<std::string, 4> benchmarks;     // SPEC profile names
-  std::string classification;                // Table 2 left column
+  std::string name;                       // "Mix 1" .. "Mix 11", or custom
+  std::vector<std::string> benchmarks;    // one workload name per thread
+  std::string classification;             // Table 2 left column
 };
 
 /// All 11 mixes in paper order.

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <array>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,9 +24,19 @@
 
 namespace tlrob {
 
+class ThreadContext;
+struct Benchmark;
+
 /// Single-thread ILP class, as in the paper's Table 2 (low = memory-bound,
 /// high = execution-bound).
 enum class IlpClass : u8 { kLow, kMid, kHigh };
+
+/// Optional per-thread source constructor: a benchmark backed by something
+/// other than the synthetic generators (e.g. a trace replay, src/trace/)
+/// supplies one and the core constructs through it; when empty the core
+/// builds a plain ThreadContext. Arguments mirror the ThreadContext ctor.
+using ThreadSourceFactory =
+    std::function<std::unique_ptr<ThreadContext>(const Benchmark&, Addr, u64)>;
 
 /// A complete synthetic benchmark: the program plus the generator specs the
 /// per-thread context instantiates.
@@ -34,6 +46,7 @@ struct Benchmark {
   std::vector<AddrGenSpec> agens;
   std::vector<BranchGenSpec> bgens;
   IlpClass expected_class = IlpClass::kMid;
+  ThreadSourceFactory source_factory;
 };
 
 /// One dynamic correct-path instruction.
@@ -51,12 +64,14 @@ class ThreadContext {
   /// `addr_space_base` separates coexisting threads' code/data; `salt`
   /// decorrelates generator streams between thread instances.
   ThreadContext(const Benchmark& bench, Addr addr_space_base, u64 salt);
+  virtual ~ThreadContext() = default;
 
   /// Produces the next correct-path instruction and advances. Production
-  /// is batched: the generator walk (produce()) runs kBatch instructions at
-  /// a time into a buffer, amortizing the out-of-line address/branch
-  /// generator calls; timing never feeds back into the architectural walk,
-  /// so running ahead is unobservable.
+  /// is batched: the source walk (refill()) runs kBatch instructions at a
+  /// time into a buffer, amortizing the out-of-line address/branch
+  /// generator calls — and, for derived sources, the one virtual dispatch
+  /// per batch; timing never feeds back into the architectural walk, so
+  /// running ahead is unobservable.
   ArchOp next() {
     if (batch_pos_ == batch_len_) refill();
     ++generated_;
@@ -71,15 +86,30 @@ class ThreadContext {
   /// PC of the first instruction of `block` (used by fetch for targets).
   Addr block_pc(u32 block) const { return program().block(block).insts.front().pc; }
 
+  /// Merges this source's own counters into a result map at snapshot time
+  /// (cold path). The synthetic generators export none; trace replay
+  /// sources export their trace.* family (src/trace/source.cpp).
+  virtual void append_source_counters(u32 /*tid*/,
+                                      std::map<std::string, u64>& /*counters*/) const {}
+
+ protected:
+  static constexpr u32 kBatch = 32;
+
+  /// Fills batch_ with the next kBatch correct-path instructions. The one
+  /// virtual call per batch is what lets derived sources (trace replay)
+  /// plug in without touching the fetch hot path.
+  virtual void refill();
+
+  std::array<ArchOp, kBatch> batch_;
+  u32 batch_pos_ = 0;
+  u32 batch_len_ = 0;
+
  private:
   struct ReturnPoint {
     u32 block;
   };
 
-  static constexpr u32 kBatch = 32;
-
   ArchOp produce();
-  void refill();
 
   const Benchmark* bench_;
   Addr addr_base_;
@@ -89,9 +119,6 @@ class ThreadContext {
   u32 index_ = 0;
   std::vector<ReturnPoint> ret_stack_;
   u64 generated_ = 0;  // instructions consumed through next()
-  std::array<ArchOp, kBatch> batch_;
-  u32 batch_pos_ = 0;
-  u32 batch_len_ = 0;
 };
 
 }  // namespace tlrob

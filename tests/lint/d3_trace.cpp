@@ -1,0 +1,23 @@
+// tlrob-lint fixture: D3-clean trace-counter usage against
+// d3_registry_trace.md. The export side mirrors TraceThreadSource
+// (src/trace/source.cpp): exact aggregate names written via counters[...],
+// per-thread names built dynamically from a prefix variable (invisible to
+// the lexical check — the registry's trace.t* pattern covers them when a
+// reader spells one out). Expected findings: none.
+#include <cstdint>
+#include <map>
+#include <string>
+
+void export_trace_counters(std::map<std::string, std::uint64_t>& counters,
+                           unsigned tid, std::uint64_t decoded, std::uint64_t rewinds) {
+  const std::string prefix = "trace.t" + std::to_string(tid) + ".";
+  counters[prefix + "records_decoded"] = decoded;    // dynamic: not captured
+  counters["trace.records_decoded"] += decoded;      // trace.records_decoded
+  counters["trace.rewinds"] += rewinds;              // trace.rewinds
+  counters["trace.unmapped_fallbacks"] += 0;         // trace.unmapped_fallbacks
+  counters["trace.decode_stall_cycles"] += 0;        // trace.decode_stall_cycles
+}
+
+std::uint64_t read_thread_zero(const std::map<std::string, std::uint64_t>& counters) {
+  return counters.at("trace.t0.records_decoded");    // matches pattern trace.t*
+}

@@ -1,0 +1,16 @@
+// tlrob-lint fixture: seeded D3 violation against d3_registry_trace.md.
+// Every registered trace aggregate is referenced (so the reverse direction
+// stays quiet), but "trace.bogus_stat" is exported without a registry
+// entry. Expected findings: exactly one, forward direction.
+#include <cstdint>
+#include <map>
+#include <string>
+
+void export_trace_counters(std::map<std::string, std::uint64_t>& counters,
+                           std::uint64_t decoded) {
+  counters["trace.records_decoded"] += decoded;
+  counters["trace.rewinds"] += 1;
+  counters["trace.unmapped_fallbacks"] += 0;
+  counters["trace.decode_stall_cycles"] += 0;
+  counters["trace.bogus_stat"] += 1;  // D3: not in the registry
+}

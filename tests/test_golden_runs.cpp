@@ -68,7 +68,7 @@ const std::vector<std::string> kCoveredPresets = {
     "fig7",          "table2",
     "ablation_threshold", "ablation_fetch_policy",
     "ablation_regfile",   "ablation_early_release",
-    "ablation_adaptive",
+    "ablation_adaptive",  "trace_synth",
 };
 
 TEST(GoldenRuns, SuiteCoversEveryPreset) {
@@ -95,6 +95,11 @@ TEST(GoldenRuns, AblationFetchPolicy) { check_preset("ablation_fetch_policy"); }
 TEST(GoldenRuns, AblationRegfile) { check_preset("ablation_regfile"); }
 TEST(GoldenRuns, AblationEarlyRelease) { check_preset("ablation_early_release"); }
 TEST(GoldenRuns, AblationAdaptive) { check_preset("ablation_adaptive"); }
+// The 14th fingerprint: a trace-workload cell (synthesized in memory via the
+// tracegen backend, so no fixture file beyond the JSON is needed). Covers
+// the whole trace frontend — decode, lowering, replay, rewind — against
+// drift, alongside the 13 synthetic presets.
+TEST(GoldenRuns, TraceSynth) { check_preset("trace_synth"); }
 
 // The fixtures must witness the second-level machinery actually engaging at
 // the golden run length: a fixture where every two-level scheme records zero

@@ -131,6 +131,37 @@ TEST(LintD3, BothDirectionsFire) {
   }));
 }
 
+TEST(LintD3, TraceFamilyCleanShapesPass) {
+  // The trace frontend's counter shapes: exact aggregates via counters[...],
+  // a per-thread family behind a "trace.t*" pattern, and a dynamic-prefix
+  // export the lexical capture deliberately ignores.
+  std::string err;
+  LintOptions opts;
+  opts.all_scopes = true;
+  opts.registry = parse_registry(fixture("d3_registry_trace.md"), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(opts.registry.size(), 5u);
+
+  LexedFile lf = lex_file(fixture("d3_trace.cpp"));
+  lf.display_path = "d3_trace.cpp";
+  EXPECT_TRUE(run_registry_check({lf}, opts, "d3_registry_trace.md").empty());
+}
+
+TEST(LintD3, UnregisteredTraceCounterFires) {
+  std::string err;
+  LintOptions opts;
+  opts.all_scopes = true;
+  opts.registry = parse_registry(fixture("d3_registry_trace.md"), &err);
+  ASSERT_TRUE(err.empty()) << err;
+
+  LexedFile lf = lex_file(fixture("d3_trace_violation.cpp"));
+  lf.display_path = "d3_trace_violation.cpp";
+  const auto fs = run_registry_check({lf}, opts, "d3_registry_trace.md");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "D3");
+  EXPECT_TRUE(any_message_contains(fs, "trace.bogus_stat"));
+}
+
 TEST(LintD3, MissingRegistryBlockIsAnError) {
   std::string err;
   const auto reg = parse_registry(fixture("d1_clean.cpp"), &err);

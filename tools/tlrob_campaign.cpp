@@ -8,6 +8,8 @@
 //   tlrob-campaign fig2 --jobs 8 --json fig2.jsonl
 //   tlrob-campaign --schemes rrob,prob --thresholds 8,16 --mixes 1,2
 //       --insts 20000 --warmup 5000 --csv sweep.csv
+//   tlrob-campaign --workload trace:app.champsim.gz,trace:app.champsim.gz
+//       --insts 20000 --json out.jsonl
 //   tlrob-campaign fig2 --manifest fig2.manifest --resume
 //   tlrob-campaign --list
 #include <cstdio>
@@ -39,6 +41,10 @@ void print_usage() {
       "  --schemes LIST   baseline32|baseline128|rrob|relaxed|cdr|prob|adaptive\n"
       "  --thresholds L   DoD thresholds crossed with the schemes (default 16)\n"
       "  --mixes LIST     1-based Table 2 mix subset (default: all 11)\n"
+      "  --workload SPEC  explicit per-thread workload list instead of --mixes:\n"
+      "                   comma-separated profile names, trace:<file> (ChampSim\n"
+      "                   format, gzip ok), tracegen:<profile>@<records>[@<seed>],\n"
+      "                   or mix:<n>; thread count follows the list length\n"
       "  --name NAME      campaign name for custom sweeps\n"
       "  --list           list the available presets\n");
 }
