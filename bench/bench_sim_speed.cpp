@@ -3,6 +3,7 @@
 // Not a paper figure — a regression guard for the simulator itself.
 #include <benchmark/benchmark.h>
 
+#include "sim/cmp.hpp"
 #include "sim/experiment.hpp"
 #include "trace/resolve.hpp"
 #include "workload/spec_profiles.hpp"
@@ -102,6 +103,31 @@ void BM_TraceFrontendDecode(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(uops), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TraceFrontendDecode)->Unit(benchmark::kMillisecond);
+
+// CMP-engine throughput: four SMT cores (16 hardware threads) in lockstep
+// behind the shared LLC + banked DRAM, each core on a different Table 2
+// mix. Exercises everything the single-core benches cannot: the per-cycle
+// all-core tick loop, the machine-wide idle fast-forward (all cores must
+// agree), and the shared-backend request path under cross-core contention.
+// Cycles counted once per machine (lockstep), so cycles/s compares directly
+// with the 1-core numbers as "machine cycles simulated per second".
+void BM_CmpFourCoreMix(benchmark::State& state) {
+  u64 insts = 0, cycles = 0;
+  for (auto _ : state) {
+    std::vector<Benchmark> work;
+    for (const u32 m : {1u, 4u, 7u, 10u})
+      for (Benchmark& b : mix_benchmarks(table2_mix(m))) work.push_back(std::move(b));
+    CmpMachine machine(cmp_config(4, RobScheme::kReactive, 16), work);
+    const RunResult r = machine.run(10000);
+    for (const auto& t : r.threads) insts += t.committed;
+    cycles += r.cycles;
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CmpFourCoreMix)->Unit(benchmark::kMillisecond);
 
 // Invariant-audit overhead: the four-thread two-level mix with the auditor
 // at each level, explicitly overriding any $TLROB_AUDIT ambient setting so

@@ -12,7 +12,12 @@
 // max_cycles=N, stats=0|1 (dump all counters),
 // trace=START:END (pipeline event trace for that cycle window, to stderr).
 // Machine knobs: see sim/config_override.hpp (scheme=, threshold=, policy=,
-// rob1=, rob2=, l2_kb=, mem_lat=, seed=, ...).
+// rob1=, rob2=, l2_kb=, mem_lat=, seed=, ...). CMP knobs (cores=N,
+// llc=size_kb[:ways[:lat[:mshrs]]], dram=ch[:banks[:tcas[:trcd[:trp]]]])
+// route the run through the CmpMachine engine; the workload list is
+// core-major and cores= splits the machine-wide thread count, so
+// `simulate mix=1 cores=2` runs 2 cores x 2 threads over the same four
+// benchmarks. Pipeline trace / Chrome trace / profile attach to core 0.
 //
 // Observability knobs (src/obs):
 //   sample=N           interval telemetry every N cycles
@@ -31,11 +36,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "obs/chrome_trace.hpp"
+#include "sim/cmp.hpp"
 #include "sim/config_override.hpp"
 #include "sim/experiment.hpp"
 #include "workload/spec_profiles.hpp"
@@ -70,8 +77,19 @@ int main(int argc, char** argv) {
   cfg = apply_overrides(cfg, opts);
   if (cfg.rob.scheme != RobScheme::kBaseline && !opts.has("rob2"))
     cfg.rob_second_level = 384;  // Table 1 default when a two-level scheme is on
-  while (benches.size() < cfg.num_threads) benches.push_back(benches.back());
-  if (benches.size() > cfg.num_threads) benches.resize(cfg.num_threads);
+  // cores= splits the machine-wide thread count (num_threads so far counts
+  // the whole workload list), matching tlrob-campaign's --cores semantics.
+  const u32 cores = cfg.num_cores == 0 ? 1 : cfg.num_cores;
+  if (cores > 1) {
+    if (cfg.num_threads % cores != 0) {
+      std::fprintf(stderr, "threads=%u not divisible by cores=%u\n", cfg.num_threads, cores);
+      return 1;
+    }
+    cfg.num_threads /= cores;
+  }
+  const size_t machine_threads = static_cast<size_t>(cfg.num_threads) * cores;
+  while (benches.size() < machine_threads) benches.push_back(benches.back());
+  if (benches.size() > machine_threads) benches.resize(machine_threads);
 
   const u64 insts = opts.get_u64("insts", 120000);
   const u64 warmup = opts.get_u64("warmup", 60000);
@@ -91,7 +109,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(insts),
               static_cast<unsigned long long>(warmup));
 
-  SmtCore core(cfg, benches);
+  // Same engine routing as run_benchmarks: multiple cores or a shared
+  // backend go through CmpMachine; the observability hooks below then
+  // attach to core 0 (per-core trace files would interleave unusably).
+  const bool cmp_routed = cfg.num_cores > 1 || cfg.llc.enabled || cfg.force_cmp_engine;
+  std::unique_ptr<CmpMachine> machine;
+  std::unique_ptr<SmtCore> solo;
+  if (cmp_routed) {
+    machine = std::make_unique<CmpMachine>(cfg, benches);
+    if (cores > 1 && (opts.has("trace") || opts.has("trace_json") || cfg.telemetry.profile))
+      std::fprintf(stderr, "note: trace/profile observe core 0 of %u\n", cores);
+  } else {
+    solo = std::make_unique<SmtCore>(cfg, benches);
+  }
+  SmtCore& core = cmp_routed ? machine->core(0) : *solo;
   if (opts.has("trace")) {
     const std::string spec = opts.get("trace");
     const auto colon = spec.find(':');
@@ -103,7 +134,8 @@ int main(int argc, char** argv) {
   }
   obs::ChromeTraceWriter chrome;
   if (opts.has("trace_json")) core.attach_chrome_trace(&chrome);
-  const RunResult r = core.run(insts, max_cycles, warmup);
+  const RunResult r = cmp_routed ? machine->run(insts, max_cycles, warmup)
+                                 : solo->run(insts, max_cycles, warmup);
 
   // A sink path of "-" means stdout; anything else is a file (created or
   // truncated). Returns false when the file cannot be opened.

@@ -37,7 +37,8 @@ Cache::Cache(std::string name, const CacheGeometry& geo) : name_(std::move(name)
   cnt_evictions_ = &stats_.counter("evictions");
 }
 
-bool Cache::fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty) {
+bool Cache::fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty,
+                 Addr* evicted_addr) {
   if (evicted_dirty) *evicted_dirty = false;
 
   const u32 hit = find(addr);
@@ -64,7 +65,11 @@ bool Cache::fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* e
     return false;
   }
   const u8 vf = flags_[victim];
-  if ((vf & kValid) != 0 && (vf & kDirty) != 0 && evicted_dirty) *evicted_dirty = true;
+  if ((vf & kValid) != 0 && (vf & kDirty) != 0 && evicted_dirty) {
+    *evicted_dirty = true;
+    if (evicted_addr)
+      *evicted_addr = ((tags_[victim] << set_shift_) | set_of(addr)) << line_shift_;
+  }
   if ((vf & kValid) != 0) cnt_evictions_->inc();
   tags_[victim] = tag_of(addr);
   ready_at_[victim] = ready_at;

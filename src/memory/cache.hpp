@@ -63,13 +63,20 @@ class Cache {
   /// Installs `addr`'s line with data arriving at `ready_at`. Returns true
   /// if a line was allocated; false when every way of the set holds an
   /// in-flight fill (the access then bypasses this level). The evicted dirty
-  /// line, if any, is reported through `evicted_dirty`.
-  bool fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty);
+  /// line, if any, is reported through `evicted_dirty`; when `evicted_addr`
+  /// is non-null it receives the victim's line-aligned address (valid only
+  /// when `*evicted_dirty` was set), which the CMP backend needs to route
+  /// the writeback to the correct DRAM bank.
+  bool fill(Addr addr, Cycle now, Cycle ready_at, bool from_memory, bool* evicted_dirty,
+            Addr* evicted_addr = nullptr);
 
-  /// Marks the line dirty (stores). No-op if absent.
-  void mark_dirty(Addr addr) {
+  /// Marks the line dirty (stores); returns whether the line was resident
+  /// (false = silently dropped, the caller may forward the write downward).
+  bool mark_dirty(Addr addr) {
     const u32 i = find(addr);
-    if (i != kNotFound) flags_[i] |= kDirty;
+    if (i == kNotFound) return false;
+    flags_[i] |= kDirty;
+    return true;
   }
 
   /// Invalidates everything (used between experiment phases).

@@ -1,0 +1,119 @@
+// Banked DRAM timing model (channels × banks, open-page row buffers).
+//
+// Replaces the fixed-latency MemoryChannel behind the shared LLC in CMP
+// configurations. The model keeps the latency-chain discipline of the rest
+// of the memory system: a request's entire timing is resolved at issue time
+// from per-bank row-buffer state and per-channel bus occupancy, and the
+// caller receives an absolute completion cycle. There are no autonomous
+// memory-side events, which is what keeps multi-core idle fast-forward safe.
+//
+// Timing follows the classic tCAS/tRCD/tRP decomposition:
+//   row-buffer hit       tCAS                  (column access only)
+//   row-buffer miss      tRCD + tCAS           (activate a closed bank)
+//   row-buffer conflict  tRP + tRCD + tCAS     (precharge, then activate)
+//
+// Scheduling is FR-FCFS-shaped within the latency-chain constraint: requests
+// serialise per bank (a bank's busy window is its row command time), the
+// open-page policy keeps the last row latched so same-row streams hit, and
+// each channel's data bus serialises transfers. True request reordering is
+// impossible when every access is resolved at issue time, so this is the
+// deterministic first-ready approximation: arrival order *is* service order,
+// and row locality is rewarded through the open row buffer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace tlrob {
+
+struct DramConfig {
+  u32 channels = 2;           // line-interleaved
+  u32 banks_per_channel = 8;
+  u32 row_bytes = 2048;       // row-buffer size per bank
+  Cycle tcas = 240;           // column access (row-buffer hit)
+  Cycle trcd = 160;           // activate (closed bank)
+  Cycle trp = 100;            // precharge (row conflict)
+  u32 bus_bytes = 8;          // per-channel data-bus width
+  Cycle interchunk = 2;       // per bus chunk
+  u32 line_bytes = 128;       // transfer unit (LLC line)
+  /// Critical-chunk-first: requester unblocks after this many bytes (0 =
+  /// full line), mirroring MemoryChannelConfig::critical_bytes.
+  u32 critical_bytes = 32;
+  /// Open-page keeps the accessed row latched (hit/conflict dynamics);
+  /// closed-page auto-precharges after every access (every access pays tRCD).
+  bool open_page = true;
+};
+
+class DramModel {
+ public:
+  enum class RowOutcome : u8 { kHit, kMiss, kConflict };
+
+  struct Access {
+    Cycle done = 0;            // line fully transferred (fill completion)
+    RowOutcome outcome = RowOutcome::kMiss;
+  };
+
+  explicit DramModel(const DramConfig& cfg);
+
+  /// Line read (fill) issued at `when`; returns the completion cycle and the
+  /// row-buffer outcome. Requests to the same bank serialise; requests to
+  /// distinct banks/channels overlap.
+  Access read(Addr addr, Cycle when);
+
+  /// Dirty-line writeback: occupies the bank and the channel bus but nobody
+  /// waits for it.
+  Access write(Addr addr, Cycle when);
+
+  /// Bank/bus state invariants; empty string when consistent.
+  std::string audit_check() const;
+
+  // Introspection for the timing tests.
+  struct BankRef {
+    u32 channel;
+    u32 bank;
+    u64 row;
+  };
+  BankRef map(Addr addr) const;
+  Cycle bank_busy_until(u32 channel, u32 bank) const;
+  bool bank_row_open(u32 channel, u32 bank) const;
+  u64 bank_open_row(u32 channel, u32 bank) const;
+  Cycle transfer_cycles() const { return transfer_; }
+
+  const DramConfig& config() const { return cfg_; }
+  StatGroup& stats() { return stats_; }
+  const StatGroup& stats() const { return stats_; }
+  void reset();
+
+ private:
+  struct Timing {
+    Cycle data_at;
+    RowOutcome outcome;
+  };
+  /// Resolves bank state at `when`: row outcome, command timing, row-buffer
+  /// update. Shared by read and write.
+  Timing access_bank(Addr addr, Cycle when);
+
+  DramConfig cfg_;
+  u32 line_shift_;
+  u32 channel_shift_;   // log2(channels)
+  u32 bank_shift_;      // log2(banks_per_channel)
+  u64 lines_per_row_;   // row_bytes / line_bytes
+  u32 row_group_shift_; // log2(lines_per_row_)
+  Cycle transfer_;
+  // Structure-of-arrays bank state, channel-major ([channel * banks + bank]).
+  std::vector<Cycle> bank_busy_until_;
+  std::vector<u64> bank_open_row_;
+  std::vector<u8> bank_row_valid_;
+  std::vector<Cycle> bus_free_;  // per channel
+  StatGroup stats_;
+  Counter* cnt_reads_;
+  Counter* cnt_writebacks_;
+  Counter* cnt_row_hits_;
+  Counter* cnt_row_misses_;
+  Counter* cnt_row_conflicts_;
+};
+
+}  // namespace tlrob

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "memory/shared_memory.hpp"
+
 namespace tlrob {
 
-MemorySystem::MemorySystem(const MemoryConfig& cfg) : cfg_(cfg) {
+MemorySystem::MemorySystem(const MemoryConfig& cfg, SharedMemory* backend, u32 core_id)
+    : cfg_(cfg), backend_(backend), core_id_(core_id) {
   MemoryChannelConfig ch = cfg.channel;
   ch.line_bytes = cfg.l2.line_bytes;
   l1i_ = std::make_unique<Cache>("l1i", cfg.l1i);
@@ -19,6 +22,17 @@ MemorySystem::L2Result MemorySystem::access_l2(Addr addr, Cycle when) {
   if (p.present) {
     // Resident (ready_at <= tag_done) or merged into an in-flight fill.
     return {std::max(p.ready_at, tag_done), p.ready_at > tag_done && p.fill_from_memory};
+  }
+  if (backend_ != nullptr) {
+    // CMP path: the miss goes to the shared LLC; only a DRAM-bound fill
+    // counts as "went to memory" (an LLC hit does not arm the second-level
+    // ROB — its latency is covered by the first-level window).
+    const SharedMemory::Fill f = backend_->request_fill(addr, tag_done, core_id_);
+    bool evicted_dirty = false;
+    Addr victim = 0;
+    l2_->fill(addr, tag_done, f.ready, f.llc_miss, &evicted_dirty, &victim);
+    if (evicted_dirty) backend_->request_writeback(victim, f.ready, core_id_);
+    return {f.ready, f.llc_miss};
   }
   const Cycle fill_done = channel_->request_fill(tag_done);
   bool evicted_dirty = false;

@@ -12,6 +12,8 @@
 
 namespace tlrob {
 
+class SharedMemory;
+
 struct MemoryConfig {
   CacheGeometry l1i{64 << 10, 2, 64, 1};    // 64 KB, 2-way, 64 B, 1 cycle
   CacheGeometry l1d{32 << 10, 4, 32, 1};    // 32 KB, 4-way, 32 B, 1 cycle
@@ -29,7 +31,12 @@ struct DataAccess {
 
 class MemorySystem {
  public:
-  explicit MemorySystem(const MemoryConfig& cfg);
+  /// When `backend` is non-null, L2 misses route through the shared LLC/DRAM
+  /// backend (CMP mode) instead of the private fixed-latency channel;
+  /// `core_id` attributes the requests for cross-core MSHR merge accounting.
+  /// With a null backend the hierarchy behaves exactly as before.
+  explicit MemorySystem(const MemoryConfig& cfg, SharedMemory* backend = nullptr,
+                        u32 core_id = 0);
 
   /// Data-side access issued at cycle `now` (address generation already
   /// accounted by the caller). Stores follow the same fill path (write-
@@ -69,6 +76,8 @@ class MemorySystem {
   std::unique_ptr<Cache> l1d_;
   std::unique_ptr<Cache> l2_;
   std::unique_ptr<MemoryChannel> channel_;
+  SharedMemory* backend_ = nullptr;  // not owned; shared across cores
+  u32 core_id_ = 0;
 };
 
 }  // namespace tlrob

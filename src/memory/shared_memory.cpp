@@ -1,0 +1,105 @@
+#include "memory/shared_memory.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tlrob {
+namespace {
+
+u32 log2_pow2(u64 v) {
+  u32 s = 0;
+  while ((v >> s) > 1) ++s;
+  return s;
+}
+
+}  // namespace
+
+SharedMemory::SharedMemory(const LlcConfig& llc, const DramConfig& dram) : cfg_(llc) {
+  DramConfig d = dram;
+  d.line_bytes = llc.geo.line_bytes;
+  line_shift_ = log2_pow2(llc.geo.line_bytes);
+  llc_ = std::make_unique<Cache>("llc", llc.geo);
+  dram_ = std::make_unique<DramModel>(d);
+  cnt_cross_core_merges_ = &stats_.counter("cross_core_merges");
+  cnt_mshr_full_stalls_ = &stats_.counter("mshr_full_stalls");
+  cnt_writebacks_in_ = &stats_.counter("writebacks_in");
+  cnt_writeback_misses_ = &stats_.counter("writeback_misses");
+}
+
+Cycle SharedMemory::admit(Cycle when) {
+  auto drop_through = [&](Cycle t) {
+    for (size_t i = 0; i < inflight_.size();) {
+      if (inflight_[i].done <= t) {
+        inflight_[i] = inflight_.back();
+        inflight_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  };
+  drop_through(when);
+  if (inflight_.size() < cfg_.mshr_entries) return when;
+  cnt_mshr_full_stalls_->inc();
+  Cycle earliest = inflight_.front().done;
+  for (const InflightFill& f : inflight_) earliest = std::min(earliest, f.done);
+  drop_through(earliest);
+  return earliest;
+}
+
+SharedMemory::Fill SharedMemory::request_fill(Addr addr, Cycle when, u32 core) {
+  const Cycle tag_done = when + cfg_.geo.hit_latency;
+  const Cache::Probe p = llc_->probe(addr, tag_done);
+  if (p.present) {
+    if (p.ready_at > tag_done) {
+      // Merged into an in-flight fill; attribute merges initiated by another
+      // core. Lines can transiently appear twice in the pool (fill-bypass
+      // re-requests), but the newest entry is the one the merge rides.
+      const u64 line = addr >> line_shift_;
+      for (auto it = inflight_.rbegin(); it != inflight_.rend(); ++it) {
+        if (it->line == line) {
+          if (it->core != core) cnt_cross_core_merges_->inc();
+          break;
+        }
+      }
+    }
+    return {std::max(p.ready_at, tag_done), p.ready_at > tag_done && p.fill_from_memory};
+  }
+  const Cycle start = admit(tag_done);
+  const DramModel::Access a = dram_->read(addr, start);
+  bool evicted_dirty = false;
+  Addr victim = 0;
+  llc_->fill(addr, tag_done, a.done, /*from_memory=*/true, &evicted_dirty, &victim);
+  if (evicted_dirty) dram_->write(victim, a.done);
+  inflight_.push_back({addr >> line_shift_, core, a.done});
+  return {a.done, true};
+}
+
+void SharedMemory::request_writeback(Addr addr, Cycle when, u32 core) {
+  (void)core;
+  cnt_writebacks_in_->inc();
+  if (llc_->mark_dirty(addr)) return;  // resident: absorbed, dirty in the LLC
+  cnt_writeback_misses_->inc();
+  dram_->write(addr, when);
+}
+
+std::string SharedMemory::audit_check() const {
+  if (inflight_.size() > cfg_.mshr_entries) {
+    std::ostringstream os;
+    os << "llc: MSHR pool overflow (" << inflight_.size() << " > " << cfg_.mshr_entries << ")";
+    return os.str();
+  }
+  return dram_->audit_check();
+}
+
+void SharedMemory::reset_stats() {
+  llc_->stats().reset();
+  dram_->stats().reset();
+  stats_.reset();
+}
+
+void SharedMemory::corrupt_inflight_for_test() {
+  while (inflight_.size() <= cfg_.mshr_entries)
+    inflight_.push_back({~0ull, 0, ~Cycle{0}});
+}
+
+}  // namespace tlrob

@@ -1,6 +1,7 @@
 #include "obs/interval_sampler.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/histogram.hpp"
 #include "runner/json.hpp"
@@ -100,6 +101,29 @@ std::map<std::string, u64> series_summary_counters(const IntervalSeries& series)
     counters[prefix + "dod_p90"] = dod.percentile(90.0);
   }
   return counters;
+}
+
+IntervalSeries merge_core_series(const std::vector<const IntervalSeries*>& cores) {
+  if (cores.empty()) return IntervalSeries{};
+  IntervalSeries out(cores.front()->interval());
+  for (const IntervalSeries* c : cores) {
+    if (c->interval() != out.interval() || c->size() != cores.front()->size())
+      throw std::logic_error("merge_core_series: cores sampled on different grids");
+  }
+  for (size_t i = 0; i < cores.front()->size(); ++i) {
+    IntervalSample merged;
+    merged.cycle = cores.front()->samples()[i].cycle;
+    merged.second_level_owner = cores.front()->samples()[i].second_level_owner;
+    for (const IntervalSeries* c : cores) {
+      const IntervalSample& s = c->samples()[i];
+      if (s.cycle != merged.cycle)
+        throw std::logic_error("merge_core_series: cores sampled at different cycles");
+      merged.iq_occ_total += s.iq_occ_total;
+      merged.threads.insert(merged.threads.end(), s.threads.begin(), s.threads.end());
+    }
+    out.add(std::move(merged));
+  }
+  return out;
 }
 
 }  // namespace tlrob::obs

@@ -100,4 +100,13 @@ class IntervalSeries {
 /// Empty when the series is empty (so disabled telemetry adds no keys).
 std::map<std::string, u64> series_summary_counters(const IntervalSeries& series);
 
+/// Machine-wide series of a CMP run: per-sample, the cores' thread slices
+/// concatenate in core order (machine-global thread indexing), the shared-IQ
+/// occupancies sum, and the second-level-owner column reports core 0's owner
+/// (the partition is per-core; the per-thread rob_cap columns carry each
+/// core's grant). Cores tick in lockstep, so every input must have the same
+/// interval, sample count, and cycle labels — anything else is a logic
+/// error.
+IntervalSeries merge_core_series(const std::vector<const IntervalSeries*>& cores);
+
 }  // namespace tlrob::obs

@@ -5,7 +5,8 @@
 // relinquished by a thread it was allocated to, no other thread is allowed
 // to make use of it." Physically it may be a central structure or the upper
 // portions of oversized private ROBs; the allocation semantics are what this
-// class captures.
+// class captures. On a CMP each SMT core owns a private instance — the
+// partition is shared between a core's threads, never across cores.
 #pragma once
 
 #include "common/stats.hpp"

@@ -94,6 +94,25 @@ CampaignSpec custom_campaign(const Options& opts) {
     for (const u32 th : thresholds) spec.columns.push_back(scheme_column(scheme, th));
   }
 
+  // CMP topology applies uniformly across columns: --cores N gives every
+  // column an N-core machine, --llc/--dram shape the shared backend. The
+  // machine-wide thread count is preserved — N cores split the column's
+  // threads (4-thread Table 2 mixes become 2 cores x 2 threads) — so the
+  // same mixes drive any core count.
+  for (auto& c : spec.columns) {
+    const u32 cores = static_cast<u32>(opts.get_u64("cores", c.config.num_cores));
+    if (cores > 1) {
+      if (c.config.num_threads % cores != 0)
+        throw std::invalid_argument("threads=" + std::to_string(c.config.num_threads) +
+                                    " not divisible by cores=" + std::to_string(cores));
+      c.config.num_threads /= cores;
+    }
+    c.config.num_cores = cores;
+    if (opts.has("llc")) apply_llc_spec(c.config.llc, opts.get("llc"));
+    if (opts.has("dram")) apply_dram_spec(c.config.dram, opts.get("dram"));
+    c.config.force_cmp_engine = opts.get_bool("force_cmp", c.config.force_cmp_engine);
+  }
+
   const std::string workload = opts.get("workload", "");
   const auto mix_ids = opts.get_list("mixes");
   if (!workload.empty()) {
@@ -101,9 +120,15 @@ CampaignSpec custom_campaign(const Options& opts) {
       throw std::invalid_argument("--workload and --mixes are mutually exclusive");
     const Mix mix = trace::workload_mix(workload);
     // The workload list sets the thread count: a 2-entry trace mix runs a
-    // 2-thread machine under every column.
-    for (auto& c : spec.columns)
-      c.config.num_threads = static_cast<u32>(mix.benchmarks.size());
+    // 2-thread machine under every column. On a CMP the list is core-major
+    // and must divide evenly into per-core thread counts.
+    for (auto& c : spec.columns) {
+      const u32 cores = c.config.num_cores == 0 ? 1 : c.config.num_cores;
+      if (mix.benchmarks.size() % cores != 0)
+        throw std::invalid_argument("workload size " + std::to_string(mix.benchmarks.size()) +
+                                    " not divisible by cores=" + std::to_string(cores));
+      c.config.num_threads = static_cast<u32>(mix.benchmarks.size() / cores);
+    }
     spec.mixes = {mix};
   } else if (mix_ids.empty()) {
     spec.mixes = table2_mixes();

@@ -43,6 +43,26 @@ MachineConfig with_shared_regfile(MachineConfig cfg) {
 
 constexpr u32 kThresholdSweep[] = {1, 2, 4, 8, 12, 16, 24, 31};
 
+/// Core-major 8-benchmark mixes for the 2-core CMP presets: each pairs two
+/// Table 2 mixes (core 0 runs the first, core 1 the second), chosen to put a
+/// memory-bound mix next to an ILP/mixed one so the shared LLC and DRAM
+/// banks see asymmetric pressure.
+std::vector<Mix> cmp_pair_mixes() {
+  constexpr u32 kPairs[][2] = {{1, 5}, {4, 9}, {7, 10}};
+  std::vector<Mix> out;
+  for (const auto& pair : kPairs) {
+    const Mix& a = table2_mix(pair[0]);
+    const Mix& b = table2_mix(pair[1]);
+    Mix m;
+    m.name = "CMP " + std::to_string(pair[0]) + "+" + std::to_string(pair[1]);
+    m.benchmarks = a.benchmarks;
+    m.benchmarks.insert(m.benchmarks.end(), b.benchmarks.begin(), b.benchmarks.end());
+    m.classification = a.classification + " | " + b.classification;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
 // -- epilogue helpers -------------------------------------------------------
 
 const char* class_name(IlpClass c) {
@@ -317,6 +337,37 @@ const Preset kPresets[] = {
        return spec;
      },
      nullptr},
+    {"cmp_mix", "CMP mix: 2 cores x 4 threads, shared LLC + banked DRAM",
+     "Two SMT cores behind a shared LLC/DRAM backend on paired Table 2 mixes",
+     [](const RunLengthSpec& rl) {
+       CampaignSpec spec;
+       spec.name = "cmp_mix";
+       spec.columns = {col("CMP2-Baseline_32", cmp_config(2, RobScheme::kBaseline, 0)),
+                       col("CMP2-R-ROB16", cmp_config(2, RobScheme::kReactive, 16))};
+       spec.mixes = cmp_pair_mixes();
+       spec.lengths = {rl};
+       return spec;
+     },
+     nullptr},
+    {"cmp_trace", "CMP trace replay: 2 cores x 2 threads on synthesized traces",
+     "Trace frontend on a 2-core CMP: per-core trace assignment over the shared backend",
+     [](const RunLengthSpec& rl) {
+       CampaignSpec spec;
+       spec.name = "cmp_trace";
+       auto cmp2 = [](RobScheme s, u32 th) {
+         MachineConfig cfg = cmp_config(2, s, th);
+         cfg.num_threads = 2;  // 2 cores x 2 threads <- the 4-entry trace list
+         return cfg;
+       };
+       spec.columns = {col("CMP2-Baseline_32", cmp2(RobScheme::kBaseline, 0)),
+                       col("CMP2-R-ROB16", cmp2(RobScheme::kReactive, 16))};
+       spec.mixes = {trace::workload_mix(
+           "tracegen:art@500@11,tracegen:mcf@500@13,"
+           "tracegen:mgrid@500@17,tracegen:crafty@500@19")};
+       spec.lengths = {rl};
+       return spec;
+     },
+     nullptr},
 };
 
 const Preset& find_preset(const std::string& name) {
@@ -353,8 +404,15 @@ CampaignResult run_preset(const std::string& name, const PresetOptions& opts) {
   CampaignSpec spec = preset.make(opts.length);
   if (!opts.workload.empty()) {
     const Mix mix = trace::workload_mix(opts.workload);
-    for (auto& c : spec.columns)
-      c.config.num_threads = static_cast<u32>(mix.benchmarks.size());
+    // Core-major assignment: an N-core column splits the workload list into
+    // N equal per-core thread groups.
+    for (auto& c : spec.columns) {
+      const u32 cores = c.config.num_cores == 0 ? 1 : c.config.num_cores;
+      if (mix.benchmarks.size() % cores != 0)
+        throw std::invalid_argument("workload size " + std::to_string(mix.benchmarks.size()) +
+                                    " not divisible by cores=" + std::to_string(cores));
+      c.config.num_threads = static_cast<u32>(mix.benchmarks.size() / cores);
+    }
     spec.mixes = {mix};
   }
   spec.sample_interval = opts.sample_interval;

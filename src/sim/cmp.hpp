@@ -1,0 +1,77 @@
+// CMP-of-SMT machine: N SmtCores in lockstep behind one shared LLC + banked
+// DRAM backend.
+//
+// Each core is a complete Table 1 SMT core — private L1/L2, branch state,
+// issue queue, register files, and its own second-level ROB partition — and
+// the cores couple only through SharedMemory (memory/shared_memory.hpp),
+// whose latency-chain contract means the memory side never generates events
+// of its own. That makes the machine-wide tick loop simple and the global
+// idle fast-forward sound:
+//
+//   - Cores tick in fixed index order every cycle (deterministic
+//     interleaving of LLC/DRAM requests).
+//   - The machine fast-forwards only when EVERY core proved its cycle idle
+//     in the same lockstep cycle; the jump target is the minimum of the
+//     cores' individual wake bounds, and each core replays its own stall
+//     counters and sample points across the skipped distance (SmtCore's
+//     cmp_* decomposition of step()).
+//
+// Result merging: per-thread results concatenate core-major (core c's
+// thread t is machine thread c*M + t, matching the workload slicing and the
+// address-space bases), per-core counters sum under their historical names,
+// the shared llc.*/dram.* families append once, and the DoD histograms
+// merge. A 1-core machine without an LLC delegates run() to its single core
+// outright, which makes the no-backend CMP path byte-identical to the
+// legacy engine by construction — the differential test in
+// tests/test_pool_fuzz.cpp pins the remaining plumbing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/smt_sim.hpp"
+
+namespace tlrob {
+
+class CmpMachine {
+ public:
+  /// One Benchmark per hardware thread, core-major: benchmarks[c*M + t] runs
+  /// on core c, thread t. `benchmarks.size()` must equal
+  /// cfg.num_cores * cfg.num_threads.
+  CmpMachine(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks);
+
+  /// Runs until any thread on any core has committed `commit_target`
+  /// instructions or `max_cycles` elapse (0 = derive a generous bound), with
+  /// `warmup_insts` excluded from every statistic — the same contract as
+  /// SmtCore::run.
+  RunResult run(u64 commit_target, u64 max_cycles = 0, u64 warmup_insts = 0);
+
+  /// Advances every core exactly one cycle, in core order (tests).
+  void tick();
+
+  Cycle now() const { return cores_.front()->now(); }
+  u32 num_cores() const { return static_cast<u32>(cores_.size()); }
+  SmtCore& core(u32 c) { return *cores_[c]; }
+  const SmtCore& core(u32 c) const { return *cores_[c]; }
+  /// Null when the machine has no shared backend (1 core, LLC disabled).
+  SharedMemory* shared_memory() { return shared_.get(); }
+
+  /// Machine-wide result: concatenated threads, summed per-core counters,
+  /// shared llc.*/dram.* families, merged DoD histograms and sample series.
+  RunResult snapshot_result() const;
+
+ private:
+  /// One lockstep cycle for all cores, fast-forwarding a globally idle
+  /// machine (bounded by `limit`).
+  void step_all(Cycle limit);
+  void reset_measurement();
+  /// Adds the shared backend's llc.*/dram.* counter families to `r` (no-op
+  /// without a backend).
+  void append_shared_counters(RunResult& r) const;
+
+  MachineConfig cfg_;
+  std::unique_ptr<SharedMemory> shared_;  // may be null (1 core, LLC off)
+  std::vector<std::unique_ptr<SmtCore>> cores_;
+};
+
+}  // namespace tlrob

@@ -1,6 +1,8 @@
 #include "sim/config_override.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace tlrob {
 
@@ -23,6 +25,54 @@ FetchPolicyKind parse_fetch_policy(const std::string& name) {
   if (name == "rr" || name == "round_robin") return FetchPolicyKind::kRoundRobin;
   throw std::invalid_argument("unknown fetch policy: " + name +
                               " (expected dcra|icount|stall|flush|rr)");
+}
+
+namespace {
+
+/// Splits a ":"-separated spec into up to `max_fields` u64s (missing fields
+/// keep their defaults; extra fields are an error).
+std::vector<u64> parse_spec_fields(const std::string& spec, size_t max_fields,
+                                   const char* what) {
+  std::vector<u64> fields;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t colon = spec.find(':', pos);
+    const std::string field =
+        colon == std::string::npos ? spec.substr(pos) : spec.substr(pos, colon - pos);
+    try {
+      size_t used = 0;
+      fields.push_back(std::stoull(field, &used));
+      if (used != field.size()) throw std::invalid_argument(field);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string(what) + " spec: bad field \"" + field + "\" in \"" +
+                                  spec + "\"");
+    }
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (fields.size() > max_fields)
+    throw std::invalid_argument(std::string(what) + " spec: too many fields in \"" + spec + "\"");
+  return fields;
+}
+
+}  // namespace
+
+void apply_llc_spec(LlcConfig& llc, const std::string& spec) {
+  const std::vector<u64> f = parse_spec_fields(spec, 4, "llc");
+  llc.enabled = true;
+  if (f.size() > 0) llc.geo.size_bytes = f[0] << 10;
+  if (f.size() > 1) llc.geo.ways = static_cast<u32>(f[1]);
+  if (f.size() > 2) llc.geo.hit_latency = static_cast<u32>(f[2]);
+  if (f.size() > 3) llc.mshr_entries = static_cast<u32>(f[3]);
+}
+
+void apply_dram_spec(DramConfig& dram, const std::string& spec) {
+  const std::vector<u64> f = parse_spec_fields(spec, 5, "dram");
+  if (f.size() > 0) dram.channels = static_cast<u32>(f[0]);
+  if (f.size() > 1) dram.banks_per_channel = static_cast<u32>(f[1]);
+  if (f.size() > 2) dram.tcas = f[2];
+  if (f.size() > 3) dram.trcd = f[3];
+  if (f.size() > 4) dram.trp = f[4];
 }
 
 MachineConfig apply_overrides(MachineConfig cfg, const Options& opts) {
@@ -65,6 +115,14 @@ MachineConfig apply_overrides(MachineConfig cfg, const Options& opts) {
   u32opt("mshr", cfg.memory.channel.mshr_entries);
   cfg.dcra.sharing = opts.get_double("dcra_sharing", cfg.dcra.sharing);
   cfg.seed = opts.get_u64("seed", cfg.seed);
+
+  // CMP topology and the shared memory backend. cores > 1 without an
+  // explicit llc spec still gets the shared backend (default LLC geometry);
+  // an llc spec alone builds a 1-core machine with an LLC.
+  u32opt("cores", cfg.num_cores);
+  if (opts.has("llc")) apply_llc_spec(cfg.llc, opts.get("llc"));
+  if (opts.has("dram")) apply_dram_spec(cfg.dram, opts.get("dram"));
+  cfg.force_cmp_engine = opts.get_bool("force_cmp", cfg.force_cmp_engine);
 
   if (opts.has("audit")) cfg.audit.level = parse_audit_level(opts.get("audit"));
   cfg.audit.cheap_interval = opts.get_u64("audit_cheap_interval", cfg.audit.cheap_interval);

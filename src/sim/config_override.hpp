@@ -20,9 +20,22 @@ namespace tlrob {
 ///   scheme (baseline|rrob|relaxed|cdr|prob), threshold, recheck, cdr_delay,
 ///   lease, cooldown, predictor_entries,
 ///   l2_kb, l2_ways, l1d_kb, l1i_kb, mem_lat, interchunk, critical_bytes,
-///   mshr, dcra_sharing, seed.
+///   mshr, dcra_sharing, seed,
+///   cores (CMP core count; > 1 enables the shared LLC/DRAM backend),
+///   llc (spec string, see apply_llc_spec), dram (see apply_dram_spec),
+///   force_cmp (0/1 — route a 1-core config through the CMP engine).
 /// Throws std::invalid_argument on an unrecognised policy/scheme value.
 MachineConfig apply_overrides(MachineConfig cfg, const Options& opts);
+
+/// Parses an LLC spec "size_kb[:ways[:latency[:mshr]]]" (e.g. "8192:16:24:32")
+/// onto `llc` and enables it. Throws std::invalid_argument on a malformed
+/// spec.
+void apply_llc_spec(LlcConfig& llc, const std::string& spec);
+
+/// Parses a DRAM spec "channels[:banks[:tcas[:trcd[:trp]]]]" (e.g.
+/// "2:8:240:160:100") onto `dram`. Throws std::invalid_argument on a
+/// malformed spec.
+void apply_dram_spec(DramConfig& dram, const std::string& spec);
 
 /// Parses a scheme name as accepted by apply_overrides.
 RobScheme parse_scheme(const std::string& name);

@@ -31,9 +31,18 @@ MachineConfig single_thread_config() {
   return cfg;
 }
 
+MachineConfig cmp_config(u32 cores, RobScheme scheme, u32 dod_threshold) {
+  MachineConfig cfg = scheme == RobScheme::kBaseline ? baseline32_config()
+                                                     : two_level_config(scheme, dod_threshold);
+  cfg.num_cores = cores;
+  cfg.llc.enabled = true;
+  return cfg;
+}
+
 std::string describe(const MachineConfig& cfg) {
   std::ostringstream os;
-  os << "threads                " << cfg.num_threads << "\n"
+  os << "cores                  " << cfg.num_cores << "\n"
+     << "threads (per core)     " << cfg.num_threads << "\n"
      << "fetch width            " << cfg.fetch_width << " (up to " << cfg.fetch_threads
      << " threads/cycle)\n"
      << "issue width            " << cfg.issue_width << "\n"
@@ -57,7 +66,16 @@ std::string describe(const MachineConfig& cfg) {
      << cfg.memory.l2.hit_latency << "cyc\n"
      << "memory                 " << cfg.memory.channel.first_chunk << "cyc first chunk, "
      << cfg.memory.channel.interchunk << "cyc interchunk, " << cfg.memory.channel.bus_bytes * 8
-     << "-bit bus\n"
+     << "-bit bus\n";
+  if (cfg.llc.enabled || cfg.num_cores > 1)
+    os << "llc (shared)           " << (cfg.llc.geo.size_bytes >> 10) << "KB/" << cfg.llc.geo.ways
+       << "w/" << cfg.llc.geo.line_bytes << "B/" << cfg.llc.geo.hit_latency << "cyc, "
+       << cfg.llc.mshr_entries << " MSHRs\n"
+       << "dram (shared)          " << cfg.dram.channels << "ch x " << cfg.dram.banks_per_channel
+       << " banks, " << cfg.dram.row_bytes << "B rows, tCAS/tRCD/tRP " << cfg.dram.tcas << "/"
+       << cfg.dram.trcd << "/" << cfg.dram.trp << "cyc, "
+       << (cfg.dram.open_page ? "open" : "closed") << "-page\n";
+  os
      << "branch predictor       " << cfg.predictor.gshare_entries << "-entry gshare, "
      << cfg.predictor.history_bits << "-bit history/thread\n"
      << "btb                    " << cfg.predictor.btb_entries << " entries, "

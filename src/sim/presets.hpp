@@ -4,6 +4,7 @@
 #include <string>
 
 #include "memory/memory_system.hpp"
+#include "memory/shared_memory.hpp"
 #include "branch/predictor.hpp"
 #include "obs/telemetry_config.hpp"
 #include "pipeline/dcra.hpp"
@@ -14,7 +15,25 @@
 namespace tlrob {
 
 struct MachineConfig {
+  /// CMP topology: `num_cores` SMT cores of `num_threads` hardware threads
+  /// each. Every core keeps its private L1/L2, branch state and second-level
+  /// ROB partition; cores > 1 couple through the shared LLC + banked DRAM
+  /// backend (`llc`/`dram`). The default (1 core, LLC off) is exactly the
+  /// paper's single-core machine and never touches the CMP engine.
+  u32 num_cores = 1;
   u32 num_threads = 4;
+
+  /// Routes even a 1-core config through the CMP engine (CmpMachine). Used
+  /// by the differential tests that pin the engines byte-identical; normal
+  /// configs leave it off.
+  bool force_cmp_engine = false;
+
+  /// First global thread index hosted by this core (CMP machines construct
+  /// one SmtCore per core with `addr_space_id_base = core * num_threads`, so
+  /// every thread in the machine gets a distinct address space and workload
+  /// seed). 0 for single-core machines — thread bases then reduce to the
+  /// historical values bit-for-bit.
+  u32 addr_space_id_base = 0;
 
   // Machine width (Table 1: 8-wide fetch / issue / commit).
   u32 fetch_width = 8;
@@ -60,6 +79,10 @@ struct MachineConfig {
   DcraConfig dcra{};
   RobPolicyConfig rob{};
   MemoryConfig memory{};
+  /// Shared memory-side backend (CMP mode): LLC geometry/MSHRs and banked
+  /// DRAM timing. Ignored while llc.enabled is false and num_cores == 1.
+  LlcConfig llc{};
+  DramConfig dram{};
   PredictorConfig predictor{};
   u32 load_hit_entries = 1024;  // Table 1 load-hit predictor
   u32 load_hit_history = 8;
@@ -89,6 +112,10 @@ MachineConfig two_level_config(RobScheme scheme, u32 dod_threshold);
 /// The single-threaded reference machine used as the weighted-IPC
 /// denominator (one thread on the Table 1 core).
 MachineConfig single_thread_config();
+
+/// CMP of `cores` Table 1 SMT cores sharing an LLC and banked DRAM, each
+/// running the given ROB scheme (kBaseline => no second level per core).
+MachineConfig cmp_config(u32 cores, RobScheme scheme, u32 dod_threshold);
 
 /// Human-readable one-line-per-parameter dump (bench_table1_config).
 std::string describe(const MachineConfig& cfg);

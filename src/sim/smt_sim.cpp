@@ -21,13 +21,16 @@ std::string concat(std::initializer_list<std::string_view> parts) {
 
 }  // namespace
 
-SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks)
+SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks,
+                 SharedMemory* shared, u32 core_id)
     : cfg_(cfg),
       benchmarks_(benchmarks),
+      shared_(shared),
+      core_id_(core_id),
       rename_(RenameConfig{cfg.int_regs, cfg.fp_regs, cfg.num_threads, cfg.shared_regfile}),
       iq_(cfg.iq_entries, cfg.num_threads),
       fus_(),
-      mem_(cfg.memory),
+      mem_(cfg.memory, shared, core_id),
       bpred_(cfg.predictor, cfg.num_threads),
       lhp_(cfg.load_hit_entries, cfg.load_hit_history, cfg.num_threads),
       dcra_(cfg.dcra, cfg.num_threads),
@@ -57,8 +60,13 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
     threads_.emplace_back(cfg.rob_first_level, rob_max_extra, cfg.lsq_entries,
                           cfg.frontend_buffer);
     ThreadState& ts = threads_.back();
-    const Addr base = static_cast<Addr>(t + 1) << 36;
-    const u64 salt = cfg.seed + 7919ULL * (t + 1);
+    // Global thread identity: CMP machines offset each core's threads so
+    // every thread in the machine gets a distinct address space and workload
+    // seed; addr_space_id_base == 0 reduces to the historical single-core
+    // values bit-for-bit.
+    const u64 gt = cfg.addr_space_id_base + t;
+    const Addr base = static_cast<Addr>(gt + 1) << 36;
+    const u64 salt = cfg.seed + 7919ULL * (gt + 1);
     ts.ctx = benchmarks_[t].source_factory
                  ? benchmarks_[t].source_factory(benchmarks_[t], base, salt)
                  : std::make_unique<ThreadContext>(benchmarks_[t], base, salt);
@@ -128,6 +136,7 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
   audit_ctx_.second = &second_;
   audit_ctx_.ctrl = rob_ctrl_.get();
   audit_ctx_.wheel = &wheel_;
+  audit_ctx_.shared = shared_;
   audit_ctx_.outstanding_l1.assign(cfg_.num_threads, 0);
   audit_ctx_.outstanding_l2.assign(cfg_.num_threads, 0);
   audit_ctx_.last_committed = &auditor_.last_committed();
@@ -944,28 +953,18 @@ bool SmtCore::tick_dispatch() {
 
 void SmtCore::tick() { tick_dispatch(); }
 
-void SmtCore::step(Cycle limit) {
-  // The fast-forward needs every cycle to be invisible to observers: the
-  // auditor samples fixed cycle intervals and the tracer logs a window, so
-  // either being attached pins the core to cycle-by-cycle execution. (The
-  // Chrome trace and the interval sampler do NOT pin it: trace events only
-  // happen in state-changing ticks, and skipped sample points are replayed
-  // below from the quiescent state every skipped cycle saw.)
-  if (auditor_.enabled() || tracer_.attached()) {
-    tick_dispatch();
-    return;
-  }
+bool SmtCore::cmp_tick() {
+  ff_base_[0] = cnt_stall_rob_->value();
+  ff_base_[1] = cnt_stall_iq_->value();
+  ff_base_[2] = cnt_stall_lsq_->value();
+  ff_base_[3] = cnt_stall_regs_->value();
+  ff_base_[4] = cnt_stall_reg_reserve_->value();
+  ff_base_[5] = cnt_stall_dcra_->value();
+  ff_base_[6] = cnt_fetch_policy_gated_->value();
+  return tick_dispatch();
+}
 
-  const u64 s_rob = cnt_stall_rob_->value();
-  const u64 s_iq = cnt_stall_iq_->value();
-  const u64 s_lsq = cnt_stall_lsq_->value();
-  const u64 s_regs = cnt_stall_regs_->value();
-  const u64 s_reserve = cnt_stall_reg_reserve_->value();
-  const u64 s_dcra = cnt_stall_dcra_->value();
-  const u64 s_gated = cnt_fetch_policy_gated_->value();
-
-  if (tick_dispatch()) return;
-
+Cycle SmtCore::cmp_idle_wake(Cycle limit) const {
   // The tick just executed (at cycle_ - 1) was provably a no-op: no event
   // fired, nothing committed / issued / dispatched / fetched / released, and
   // the ROB controller made no state change. Every condition that could end
@@ -974,9 +973,11 @@ void SmtCore::step(Cycle limit) {
   //   - a frontend head reaching decode maturity,
   //   - a fetch stall (I-cache miss / post-squash redirect) expiring,
   //   - the controller's next due re-check or phase boundary.
+  // (Nothing memory-side: the latency-chain model resolves every LLC/DRAM
+  // access at issue time, so the shared backend never wakes a core on its
+  // own — the completion is already in this core's wheel.)
   // Until the earliest of those, every tick repeats this one exactly — same
-  // stalls, same counters, no state change — so jump straight there and
-  // replay this tick's per-cycle stall increments for the distance.
+  // stalls, same counters, no state change.
   const Cycle now = cycle_ - 1;
   Cycle wake = limit;
   wake = std::min(wake, wheel_.next_event_or(kNeverCycle));
@@ -988,8 +989,10 @@ void SmtCore::step(Cycle limit) {
     }
     if (ts.fetch_stall_until > now) wake = std::min(wake, ts.fetch_stall_until);
   }
-  if (wake <= cycle_) return;
+  return wake;
+}
 
+void SmtCore::cmp_replay_idle_to(Cycle wake) {
   // Replay the sample points inside the skipped span. Every sampled quantity
   // (occupancies, outstanding misses, DCRA caps, committed counts, ownership)
   // is machine state, and a skippable cycle is by definition one in which no
@@ -1004,16 +1007,35 @@ void SmtCore::step(Cycle limit) {
   }
 
   const u64 skipped = wake - cycle_;
-  cnt_stall_rob_->inc((cnt_stall_rob_->value() - s_rob) * skipped);
-  cnt_stall_iq_->inc((cnt_stall_iq_->value() - s_iq) * skipped);
-  cnt_stall_lsq_->inc((cnt_stall_lsq_->value() - s_lsq) * skipped);
-  cnt_stall_regs_->inc((cnt_stall_regs_->value() - s_regs) * skipped);
-  cnt_stall_reg_reserve_->inc((cnt_stall_reg_reserve_->value() - s_reserve) * skipped);
-  cnt_stall_dcra_->inc((cnt_stall_dcra_->value() - s_dcra) * skipped);
-  cnt_fetch_policy_gated_->inc((cnt_fetch_policy_gated_->value() - s_gated) * skipped);
+  cnt_stall_rob_->inc((cnt_stall_rob_->value() - ff_base_[0]) * skipped);
+  cnt_stall_iq_->inc((cnt_stall_iq_->value() - ff_base_[1]) * skipped);
+  cnt_stall_lsq_->inc((cnt_stall_lsq_->value() - ff_base_[2]) * skipped);
+  cnt_stall_regs_->inc((cnt_stall_regs_->value() - ff_base_[3]) * skipped);
+  cnt_stall_reg_reserve_->inc((cnt_stall_reg_reserve_->value() - ff_base_[4]) * skipped);
+  cnt_stall_dcra_->inc((cnt_stall_dcra_->value() - ff_base_[5]) * skipped);
+  cnt_fetch_policy_gated_->inc((cnt_fetch_policy_gated_->value() - ff_base_[6]) * skipped);
   commit_rr_ += skipped;  // do_commit advances the rotation every cycle
   fast_forwarded_ += skipped;
   cycle_ = wake;
+}
+
+void SmtCore::step(Cycle limit) {
+  // The fast-forward needs every cycle to be invisible to observers: the
+  // auditor samples fixed cycle intervals and the tracer logs a window, so
+  // either being attached pins the core to cycle-by-cycle execution. (The
+  // Chrome trace and the interval sampler do NOT pin it: trace events only
+  // happen in state-changing ticks, and skipped sample points are replayed
+  // by cmp_replay_idle_to from the quiescent state every skipped cycle saw.)
+  if (cmp_pinned()) {
+    tick_dispatch();
+    return;
+  }
+
+  if (cmp_tick()) return;
+
+  const Cycle wake = cmp_idle_wake(limit);
+  if (wake <= cycle_) return;
+  cmp_replay_idle_to(wake);
 }
 
 void SmtCore::attach_chrome_trace(obs::ChromeTraceWriter* writer) {
@@ -1116,6 +1138,10 @@ void SmtCore::reset_measurement() {
   mem_.l1d().stats().reset();
   mem_.l2().stats().reset();
   mem_.channel().stats().reset();
+  // CMP: the shared backend is reset once per machine-wide measurement
+  // boundary; every core resets at the same lockstep cycle, so the repeats
+  // are idempotent.
+  if (shared_ != nullptr) shared_->reset_stats();
   // Drop warmup-era samples; next_sample_ keeps its absolute alignment so the
   // measured series stays on the same cycle grid regardless of warmup length.
   series_.reset();
@@ -1124,12 +1150,6 @@ void SmtCore::reset_measurement() {
 
 RunResult SmtCore::run(u64 commit_target, u64 max_cycles, u64 warmup_insts) {
   if (max_cycles == 0) max_cycles = (warmup_insts + commit_target) * 400 + 200000;
-
-  auto fastest_measured = [&] {
-    u64 best = 0;
-    for (const auto& ts : threads_) best = std::max(best, ts.committed - ts.committed_base);
-    return best;
-  };
 
   if (warmup_insts > 0) {
     while (cycle_ < max_cycles && fastest_measured() < warmup_insts) step(max_cycles);
@@ -1175,9 +1195,10 @@ RunResult SmtCore::snapshot_result() const {
   r.counters["rob2.busy_cycles"] = second_.busy_cycles(cycle_);
   r.counters["core.fast_forwarded_cycles"] = fast_forwarded_;
   // Instruction sources merge last: the default hook is a no-op, so purely
-  // synthetic runs produce exactly the counter set they always did.
+  // synthetic runs produce exactly the counter set they always did. Sources
+  // report under the machine-global thread index so CMP cores never collide.
   for (ThreadId t = 0; t < cfg_.num_threads; ++t)
-    threads_[t].ctx->append_source_counters(t, r.counters);
+    threads_[t].ctx->append_source_counters(cfg_.addr_space_id_base + t, r.counters);
   return r;
 }
 

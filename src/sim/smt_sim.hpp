@@ -58,8 +58,11 @@ namespace tlrob {
 class SmtCore {
  public:
   /// One Benchmark per hardware thread; `benchmarks.size()` must equal
-  /// cfg.num_threads.
-  SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks);
+  /// cfg.num_threads. In CMP machines, `shared` is the machine-wide LLC/DRAM
+  /// backend behind this core's L2 and `core_id` attributes its requests;
+  /// standalone cores (null backend) keep the private fixed-latency channel.
+  SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchmarks,
+          SharedMemory* shared = nullptr, u32 core_id = 0);
 
   /// Runs until any thread has committed `commit_target` instructions or
   /// `max_cycles` elapse (0 = derive a generous bound from the target).
@@ -77,6 +80,17 @@ class SmtCore {
 
   Cycle now() const { return cycle_; }
   u64 committed(ThreadId t) const { return threads_[t].committed; }
+
+  /// Largest measurement-relative commit count over this core's threads —
+  /// run()'s progress metric, exposed for the CMP machine's lockstep loop.
+  u64 fastest_measured() const {
+    u64 best = 0;
+    for (const auto& ts : threads_) {
+      const u64 m = ts.committed - ts.committed_base;
+      if (m > best) best = m;
+    }
+    return best;
+  }
   u32 outstanding_l1(ThreadId t) const { return threads_[t].outstanding_l1; }
   u32 outstanding_l2(ThreadId t) const { return threads_[t].outstanding_l2; }
   const ReorderBuffer& rob(ThreadId t) const { return threads_[t].rob; }
@@ -135,6 +149,26 @@ class SmtCore {
 
   /// Builds the RunResult for the current state (run() calls this at exit).
   RunResult snapshot_result() const;
+
+  // -- CMP lockstep interface (sim/cmp.cpp) ----------------------------------
+  // step() is decomposed into these so a CmpMachine can tick N cores in
+  // lockstep and fast-forward only when EVERY core proved its cycle idle:
+  // step(limit) == { if (cmp_pinned()) tick; else if (!cmp_tick()) { w =
+  // cmp_idle_wake(limit); if (w > now()) cmp_replay_idle_to(w); } }.
+
+  /// The auditor/tracer pin this core to cycle-by-cycle execution.
+  bool cmp_pinned() const { return auditor_.enabled() || tracer_.attached(); }
+  /// One tick with the fast-forward stall baselines captured; returns true
+  /// iff the tick changed machine state (a false return means
+  /// cmp_idle_wake/cmp_replay_idle_to may be used for this cycle).
+  bool cmp_tick();
+  /// After an idle cmp_tick(): the earliest future cycle anything can happen
+  /// at on this core, bounded by `limit`. A result <= now() means no skip.
+  Cycle cmp_idle_wake(Cycle limit) const;
+  /// Jumps the core to `wake`, replaying per-cycle stall counters and sample
+  /// points for the skipped distance (wake must not exceed this core's
+  /// cmp_idle_wake bound).
+  void cmp_replay_idle_to(Cycle wake);
 
  private:
   struct ThreadState {
@@ -231,6 +265,8 @@ class SmtCore {
 
   MachineConfig cfg_;
   std::vector<Benchmark> benchmarks_;
+  SharedMemory* shared_ = nullptr;  // not owned; null outside CMP machines
+  u32 core_id_ = 0;
   std::vector<ThreadState> threads_;
   RenameUnit rename_;
   IssueQueue iq_;
@@ -249,6 +285,9 @@ class SmtCore {
   SeqNum next_seq_ = 1;
   u64 commit_rr_ = 0;
   u64 fast_forwarded_ = 0;
+  // Stall-counter values captured by cmp_tick() before the tick ran; the
+  // deltas are what cmp_replay_idle_to() multiplies across skipped cycles.
+  u64 ff_base_[7] = {0, 0, 0, 0, 0, 0, 0};
   Rng wp_rng_;
 
   // Reused per-cycle scratch (capacity retained; steady state never

@@ -8,6 +8,9 @@
 // returned Benchmark's name round-trips through resolve_benchmark(), which
 // is what lets the single-thread-reference memo replay a trace workload
 // from nothing but the name a JobRecord carries.
+//
+// Workload lists are core-major on a CMP: entries [c*M, (c+1)*M) of an
+// N-core x M-thread machine's list become core c's threads 0..M-1.
 #pragma once
 
 #include <string>

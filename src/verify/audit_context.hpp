@@ -26,6 +26,7 @@ class LoadStoreQueue;
 class IssueQueue;
 class RenameUnit;
 class SecondLevelRob;
+class SharedMemory;
 class TwoLevelRobController;
 class EventWheel;
 enum class RobScheme : u8;
@@ -85,6 +86,10 @@ struct AuditContext {
   const SecondLevelRob* second = nullptr;
   const TwoLevelRobController* ctrl = nullptr;
   const EventWheel* wheel = nullptr;
+  /// CMP machines: the machine-wide LLC/DRAM backend behind this core's L2
+  /// (null on single-core configurations without an LLC — the shared-memory
+  /// check is then a no-op).
+  const SharedMemory* shared = nullptr;
 
   /// Per-thread outstanding-miss counters as the core sees them (the checks
   /// recount the flags in the window against these).

@@ -54,4 +54,10 @@ std::unique_ptr<InvariantCheck> make_pool_check();
 /// account for every event exactly once (no dropped or duplicated wakeups).
 std::unique_ptr<InvariantCheck> make_event_wheel_check();
 
+/// Shared LLC/DRAM backend consistency (cheap; no-op without a backend):
+/// the MSHR pool occupancy stays within its bound and the DRAM bank/row
+/// bookkeeping accounts for every request exactly once
+/// (SharedMemory::audit_check).
+std::unique_ptr<InvariantCheck> make_shared_memory_check();
+
 }  // namespace tlrob

@@ -52,6 +52,7 @@ InvariantChecker::InvariantChecker(const AuditConfig& cfg, u32 num_threads)
   register_check(make_dod_recount_check());
   register_check(make_pool_check());
   register_check(make_event_wheel_check());
+  register_check(make_shared_memory_check());
 }
 
 void InvariantChecker::register_check(std::unique_ptr<InvariantCheck> check) {

@@ -69,6 +69,7 @@ const std::vector<std::string> kCoveredPresets = {
     "ablation_threshold", "ablation_fetch_policy",
     "ablation_regfile",   "ablation_early_release",
     "ablation_adaptive",  "trace_synth",
+    "cmp_mix",            "cmp_trace",
 };
 
 TEST(GoldenRuns, SuiteCoversEveryPreset) {
@@ -100,6 +101,13 @@ TEST(GoldenRuns, AblationAdaptive) { check_preset("ablation_adaptive"); }
 // the whole trace frontend — decode, lowering, replay, rewind — against
 // drift, alongside the 13 synthetic presets.
 TEST(GoldenRuns, TraceSynth) { check_preset("trace_synth"); }
+// CMP fingerprints: two SMT cores behind the shared LLC + banked DRAM
+// backend. cmp_mix pins the lockstep engine and cross-core contention on
+// paired Table 2 mixes; cmp_trace pins per-core trace assignment. Any drift
+// in LLC/DRAM timing, MSHR merging, or the core-major thread mapping lands
+// here as a cycle/IPC diff.
+TEST(GoldenRuns, CmpMix) { check_preset("cmp_mix"); }
+TEST(GoldenRuns, CmpTrace) { check_preset("cmp_trace"); }
 
 // The fixtures must witness the second-level machinery actually engaging at
 // the golden run length: a fixture where every two-level scheme records zero

@@ -5,6 +5,7 @@
 #include "memory/cache.hpp"
 #include "memory/memory_channel.hpp"
 #include "memory/memory_system.hpp"
+#include "memory/shared_memory.hpp"
 
 namespace tlrob {
 namespace {
@@ -347,6 +348,104 @@ TEST(MemorySystem, DirtyL2EvictionQueuesWritebackBeforeNextFill) {
   const Cycle tag_done = t + cfg.l1d.hit_latency + cfg.l2.hit_latency;
   // evicting fill: tag_done + first_chunk + tr; writeback: + tr; next: + tr.
   EXPECT_EQ(next.data_ready, tag_done + cfg.channel.first_chunk + 3 * tr);
+}
+
+// -- shared CMP backend: LLC contention --------------------------------------
+//
+// Cross-core effects the per-core hierarchy cannot express: set thrashing
+// between cores, MSHR merges attributed across cores, and the
+// inclusive-victim writeback path (L2 dirty victims absorbed by a resident
+// LLC line vs forwarded to DRAM).
+
+/// Tiny 2-way LLC (32 sets, 64B lines, 10-cycle tags) over the default DRAM
+/// so two cores can thrash one set with four lines.
+LlcConfig tiny_llc() {
+  LlcConfig llc;
+  llc.enabled = true;
+  llc.geo = CacheGeometry{4096, 2, 64, 10};
+  llc.mshr_entries = 4;
+  return llc;
+}
+
+/// Same-set stride: 32 sets x 64B lines.
+constexpr Addr kLlcSetStride = 2048;
+
+TEST(SharedLlc, CrossCoreSetThrashingEvictsAndRemisses) {
+  SharedMemory sm(tiny_llc(), DramConfig{});
+  // Core 0 owns lines A,B of set 0; core 1 pushes C,D through the same set.
+  // Accesses are spaced so every fill has landed (no in-flight lock).
+  const Addr a = 0, b = kLlcSetStride, c = 2 * kLlcSetStride, d = 3 * kLlcSetStride;
+  EXPECT_TRUE(sm.request_fill(a, 0, 0).llc_miss);
+  EXPECT_TRUE(sm.request_fill(b, 1000, 0).llc_miss);
+  EXPECT_TRUE(sm.request_fill(c, 2000, 1).llc_miss);  // evicts A (LRU)
+  EXPECT_TRUE(sm.request_fill(d, 3000, 1).llc_miss);  // evicts B
+  // Core 0 lost its working set to core 1: A misses again.
+  EXPECT_TRUE(sm.request_fill(a, 4000, 0).llc_miss);
+  EXPECT_EQ(sm.llc().stats().counter_value("misses"), 5u);
+  EXPECT_EQ(sm.llc().stats().counter_value("evictions"), 3u);
+  EXPECT_EQ(sm.audit_check(), "");
+}
+
+TEST(SharedLlc, CrossCoreMshrMergeAttributedOnce) {
+  SharedMemory sm(tiny_llc(), DramConfig{});
+  const SharedMemory::Fill first = sm.request_fill(0x40, 0, /*core=*/0);
+  EXPECT_TRUE(first.llc_miss);
+  EXPECT_EQ(sm.inflight_count(), 1u);
+  // Core 1 hits the in-flight fill: merged, still DRAM-bound, and the
+  // cross-core attribution fires.
+  const SharedMemory::Fill merged = sm.request_fill(0x40, 5, /*core=*/1);
+  EXPECT_TRUE(merged.llc_miss);
+  EXPECT_EQ(merged.ready, first.ready);
+  EXPECT_EQ(sm.stats().counter_value("cross_core_merges"), 1u);
+  // A same-core merge rides the fill too but is not a cross-core event.
+  sm.request_fill(0x40, 6, /*core=*/0);
+  EXPECT_EQ(sm.stats().counter_value("cross_core_merges"), 1u);
+  EXPECT_EQ(sm.llc().stats().counter_value("mshr_merges"), 2u);
+  // After the fill lands the line is a plain LLC hit for every core.
+  const SharedMemory::Fill hit = sm.request_fill(0x40, first.ready + 100, /*core=*/1);
+  EXPECT_FALSE(hit.llc_miss);
+}
+
+TEST(SharedLlc, InclusiveVictimWritebackAbsorbedThenSpilled) {
+  SharedMemory sm(tiny_llc(), DramConfig{});
+  const Addr a = 0;
+  sm.request_fill(a, 0, 0);
+  // Resident line: the L2's dirty victim is absorbed (marked dirty in the
+  // LLC), no DRAM traffic.
+  sm.request_writeback(a, 1000, 0);
+  EXPECT_EQ(sm.stats().counter_value("writebacks_in"), 1u);
+  EXPECT_EQ(sm.stats().counter_value("writeback_misses"), 0u);
+  EXPECT_EQ(sm.dram().stats().counter_value("writebacks"), 0u);
+  // Thrash the set from the other core until the dirty line is the LRU
+  // victim: its eviction must spill to DRAM.
+  sm.request_fill(kLlcSetStride, 2000, 1);
+  sm.request_fill(2 * kLlcSetStride, 3000, 1);  // evicts dirty A
+  EXPECT_EQ(sm.dram().stats().counter_value("writebacks"), 1u);
+  // A writeback for a line the LLC no longer holds goes straight to DRAM.
+  sm.request_writeback(a, 4000, 0);
+  EXPECT_EQ(sm.stats().counter_value("writeback_misses"), 1u);
+  EXPECT_EQ(sm.dram().stats().counter_value("writebacks"), 2u);
+  EXPECT_EQ(sm.audit_check(), "");
+}
+
+TEST(SharedLlc, MshrPoolBoundDelaysAdmission) {
+  LlcConfig llc = tiny_llc();
+  llc.mshr_entries = 1;
+  SharedMemory sm(llc, DramConfig{});
+  const SharedMemory::Fill first = sm.request_fill(0, 0, 0);
+  // Second miss the same cycle: the single MSHR is held until the first
+  // fill completes, so the DRAM access starts late.
+  const SharedMemory::Fill second = sm.request_fill(kLlcSetStride, 0, 1);
+  EXPECT_EQ(sm.stats().counter_value("mshr_full_stalls"), 1u);
+  EXPECT_GT(second.ready, first.ready);
+  EXPECT_GE(second.ready, first.ready + sm.dram().config().tcas);
+}
+
+TEST(SharedLlc, AuditTripsOnCorruptedMshrPool) {
+  SharedMemory sm(tiny_llc(), DramConfig{});
+  EXPECT_EQ(sm.audit_check(), "");
+  sm.corrupt_inflight_for_test();
+  EXPECT_NE(sm.audit_check(), "");
 }
 
 }  // namespace

@@ -21,6 +21,11 @@
 #include <random>
 #include <vector>
 
+#include "runner/campaign.hpp"
+#include "runner/engine.hpp"
+#include "runner/golden.hpp"
+#include "runner/presets.hpp"
+#include "sim/cmp.hpp"
 #include "sim/event_wheel.hpp"
 #include "sim/metrics.hpp"
 #include "sim/presets.hpp"
@@ -174,6 +179,109 @@ TEST(WheelFuzz, HandlerSchedulingDuringDrainIsSafe) {
   EXPECT_EQ(fired_later, 8u);
   EXPECT_TRUE(wheel.audit_consistent());
   EXPECT_EQ(wheel.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CMP fuzz: randomized multi-core geometries under the full audit tier.
+// ---------------------------------------------------------------------------
+//
+// The lockstep engine adds two failure surfaces the single-core fuzz cannot
+// reach: the machine-wide idle fast-forward (every core must prove the same
+// cycle idle, and the replay must keep per-core stall counters exact) and
+// the shared LLC/MSHR/DRAM bookkeeping that every core mutates in arrival
+// order. Squash storms on several cores at once churn both.
+
+class CmpFuzz : public ::testing::TestWithParam<u32 /*seed*/> {};
+
+TEST_P(CmpFuzz, RandomizedCmpGeometrySurvivesSquashStormsUnderFullAudit) {
+  std::mt19937 rng(GetParam() * 0x85EBCA6Bu + 7);
+  auto pick = [&](u32 lo, u32 hi) { return lo + rng() % (hi - lo + 1); };
+
+  static const RobScheme kSchemes[] = {RobScheme::kBaseline, RobScheme::kReactive,
+                                       RobScheme::kPredictive};
+  MachineConfig cfg = cmp_config(pick(2, 4), kSchemes[rng() % 3], pick(4, 24));
+  cfg.num_threads = pick(1, 3);
+  cfg.rob_first_level = pick(8, 48);
+  cfg.lsq_entries = pick(8, 48);
+  cfg.iq_entries = pick(16, 64);
+  // A small thrash-prone LLC and few MSHRs so cross-core eviction, merge,
+  // and pool-full paths all fire at fuzz run lengths.
+  cfg.llc.geo = CacheGeometry{u64{1} << pick(13, 15), 1u << pick(1, 3), 128,
+                              static_cast<u32>(pick(16, 32))};
+  cfg.llc.mshr_entries = pick(2, 8);
+  cfg.dram.channels = 1u << pick(0, 2);
+  cfg.dram.banks_per_channel = 1u << pick(1, 3);
+  cfg.dram.open_page = (rng() & 1) != 0;
+  cfg.predictor.gshare_entries = 16;
+  cfg.predictor.history_bits = 4;
+  cfg.predictor.btb_entries = 16;
+  cfg.audit.level = AuditLevel::kFull;
+  cfg.audit.cheap_interval = 1;
+  cfg.audit.full_interval = pick(1, 8);
+  cfg.audit.abort_on_violation = true;
+  cfg.seed = GetParam() * 6271 + 29;
+
+  static const char* kBranchy[] = {"crafty", "gzip", "twolf", "parser",
+                                   "vpr",    "gap",  "perlbmk"};
+  // Core 0 thread 0 is memory-bound (shared-backend churn); every other
+  // thread is branchy so squash storms fire even at 1 thread per core.
+  std::vector<Benchmark> work;
+  for (u32 c = 0; c < cfg.num_cores; ++c)
+    for (u32 t = 0; t < cfg.num_threads; ++t)
+      work.push_back(c == 0 && t == 0 ? spec_benchmark("mcf")
+                                      : spec_benchmark(kBranchy[rng() % 7]));
+
+  CmpMachine machine(cfg, work);
+  EXPECT_NO_THROW(machine.run(2000));
+  u64 squashes = 0;
+  for (u32 c = 0; c < machine.num_cores(); ++c) {
+    EXPECT_EQ(machine.core(c).auditor().total_violations(), 0u)
+        << "core " << c << ": " << machine.core(c).auditor().report();
+    EXPECT_GT(machine.core(c).auditor().checks_executed(), 0u);
+  }
+  const RunResult r = machine.snapshot_result();
+  squashes = run_counter(r, "core.squash.insts");
+  EXPECT_GT(squashes, 0u);
+  // The shared backend saw traffic and still satisfies its own invariants.
+  ASSERT_NE(machine.shared_memory(), nullptr);
+  EXPECT_GT(run_counter(r, "llc.accesses"), 0u);
+  EXPECT_EQ(machine.shared_memory()->audit_check(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmpFuzz, ::testing::Range(0u, 6u));
+
+// ---------------------------------------------------------------------------
+// Differential: the CMP engine with no backend IS the legacy engine.
+// ---------------------------------------------------------------------------
+//
+// Every single-core cell of every preset, re-run through CmpMachine with
+// force_cmp_engine set, must produce a byte-identical JSONL record: same
+// cycles, same per-thread results, same counter families, same DoD
+// histograms. Cells are stride-sampled (≤3 per preset) to keep the suite
+// fast; the full golden suite pins the legacy path itself.
+
+TEST(CmpDifferential, ForcedCmpEngineIsByteIdenticalToLegacyOnEveryPreset) {
+  using runner::JobSpec;
+  for (const std::string& preset : runner::preset_names()) {
+    runner::CampaignSpec spec = runner::preset_campaign(preset, runner::golden_run_length());
+    std::vector<JobSpec> jobs = runner::expand(spec);
+    // Keep only cells the legacy engine would run (the cmp_* presets route
+    // through CmpMachine either way).
+    std::erase_if(jobs, [](const JobSpec& j) {
+      return j.config.num_cores > 1 || j.config.llc.enabled || j.config.force_cmp_engine;
+    });
+    const size_t stride = jobs.size() <= 3 ? 1 : jobs.size() / 3;
+    u32 compared = 0;
+    for (size_t i = 0; i < jobs.size() && compared < 3; i += stride, ++compared) {
+      const JobSpec& legacy = jobs[i];
+      JobSpec forced = legacy;
+      forced.config.force_cmp_engine = true;
+      const std::string a = runner::to_json_line(runner::execute_job(legacy));
+      const std::string b = runner::to_json_line(runner::execute_job(forced));
+      EXPECT_EQ(a, b) << preset << " cell " << i << " (" << legacy.config_name << " / "
+                      << legacy.mix.name << "): forced CMP engine diverged";
+    }
+  }
 }
 
 }  // namespace

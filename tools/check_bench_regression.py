@@ -7,10 +7,13 @@ Usage:
         --current cur.json
 
 The baseline file (BENCH_sim_speed.json at the repo root) holds a history of
-recorded runs; the newest entry is the contract. For every benchmark present
-in both files the current sim_cycles/s must be at least
-(1 - tolerance_pct/100) of the recorded value. Median aggregates are used
-when the current run has repetitions; otherwise the plain iteration row.
+recorded runs. The newest entry names the benchmark set under contract; the
+reference value for each benchmark is the median of its last (up to) three
+recorded values across the history, so one noisy recording session cannot
+silently redefine the contract in either direction. For every benchmark
+present in both files the current sim_cycles/s must be at least
+(1 - tolerance_pct/100) of the reference. Median aggregates are used when
+the current run has repetitions; otherwise the plain iteration row.
 
 Per-benchmark tolerances: the baseline file may carry a top-level
 "tolerance_pct_overrides" object mapping benchmark names to their own
@@ -24,10 +27,12 @@ Exit status: 0 = no regression, 1 = regression, 2 = usage/format error.
 
 import argparse
 import json
+import statistics
 import sys
 from typing import Any, NoReturn
 
 METRIC = "sim_cycles/s"
+HISTORY_WINDOW = 3  # per-benchmark reference = median of the last N recordings
 
 
 def usage_error(msg: str) -> NoReturn:
@@ -66,6 +71,34 @@ def load_current(path: str) -> dict[str, float]:
             # in older library versions).
             singles[row["name"]] = row[METRIC]
     return medians if medians else singles
+
+
+def reference_values(history: list[Any], baseline_path: str) -> dict[str, float]:
+    """Per-benchmark reference: median of the benchmark's last HISTORY_WINDOW
+    recorded values. The newest entry defines which benchmarks are under
+    contract; older entries only contribute values for those names."""
+    newest = history[-1]
+    if not isinstance(newest, dict) or not isinstance(newest.get("benchmarks"), dict):
+        usage_error(
+            f"error: {baseline_path} newest history entry has no benchmarks object"
+        )
+    reference: dict[str, float] = {}
+    for name in newest["benchmarks"]:
+        values: list[float] = []
+        for entry in history:
+            if not isinstance(entry, dict):
+                continue
+            bench = entry.get("benchmarks")
+            if not isinstance(bench, dict) or name not in bench:
+                continue
+            if not isinstance(bench[name], (int, float)):
+                usage_error(
+                    f"error: {baseline_path} records a non-numeric value "
+                    f"for {name}"
+                )
+            values.append(float(bench[name]))
+        reference[name] = statistics.median(values[-HISTORY_WINDOW:])
+    return reference
 
 
 def main() -> int:
@@ -115,11 +148,14 @@ def main() -> int:
         print(f"error: {args.current} contains no {METRIC} rows", file=sys.stderr)
         return 2
 
+    reference = reference_values(history, args.baseline)
+    window = min(len(history), HISTORY_WINDOW)
     compared = 0
     failed: list[tuple[str, float]] = []
     print(f"baseline: {newest.get('label', '?')} ({newest.get('date', '?')})")
+    print(f"reference: median of last {window} history entr{'y' if window == 1 else 'ies'}")
     print(f"tolerance: -{default_tol:g}% (per-benchmark overrides apply)")
-    for name, base in sorted(newest.get("benchmarks", {}).items()):
+    for name, base in sorted(reference.items()):
         if name not in current:
             print(f"  {name:32s} SKIP (not in current run)")
             continue

@@ -97,6 +97,55 @@ def main():
         drop30 = write(tmp, "cur_drop30.json", current_json(700000.0))
         drop10 = write(tmp, "cur_drop10.json", current_json(900000.0))
 
+        # Median-of-last-3 reference: the newest entry records an outlier
+        # (2e6 where two prior sessions said 1e6). The reference is the
+        # median 1e6, so 950k passes — against the raw newest value it
+        # would read as a -52% regression.
+        def entry(label, rate):
+            return {"label": label, "date": "2026-01-01", "benchmarks": {"BM_sim_speed/mix1": rate}}
+
+        outlier_base = write(
+            tmp,
+            "base_outlier.json",
+            {
+                "tolerance_pct": 20,
+                "history": [entry("a", 1000000.0), entry("b", 1000000.0), entry("c", 2000000.0)],
+            },
+        )
+        # Only the last 3 entries count: an ancient 10e6 recording must not
+        # drag the median up past what the recent sessions sustain.
+        windowed_base = write(
+            tmp,
+            "base_windowed.json",
+            {
+                "tolerance_pct": 20,
+                "history": [
+                    entry("old", 10000000.0),
+                    entry("a", 1000000.0),
+                    entry("b", 1000000.0),
+                    entry("c", 1000000.0),
+                ],
+            },
+        )
+        # A benchmark added in the newest entry has a 1-deep history; its own
+        # value is its reference (no KeyError against older entries).
+        new_bench_base = write(
+            tmp,
+            "base_newbench.json",
+            {
+                "tolerance_pct": 20,
+                "history": [
+                    {"label": "a", "date": "2026-01-01", "benchmarks": {}},
+                    entry("b", 1000000.0),
+                ],
+            },
+        )
+        bad_value_base = write(
+            tmp,
+            "base_badvalue.json",
+            {"tolerance_pct": 20, "history": [entry("a", "fast")]},
+        )
+
         print("check_bench_regression.py exit-code contract:")
         check("within tolerance -> 0", run(good_base, good_cur), 0)
         check("regression -> 1", run(good_base, slow_cur), 1)
@@ -117,6 +166,23 @@ def main():
             0,
             want_stdout=["+50.00%"],
         )
+        check(
+            "median absorbs newest outlier -> 0",
+            run(outlier_base, write(tmp, "cur_950k.json", current_json(950000.0))),
+            0,
+            want_stdout=["median of last 3"],
+        )
+        check(
+            "history window is last 3 -> 0",
+            run(windowed_base, good_cur),
+            0,
+        )
+        check(
+            "newly added benchmark uses its own history -> 0",
+            run(new_bench_base, good_cur),
+            0,
+        )
+        check("non-numeric history value -> 2", run(bad_value_base, good_cur), 2)
         check("empty baseline history -> 2", run(empty_hist, good_cur), 2)
         check("current without metric rows -> 2", run(good_base, no_rows), 2)
         check("malformed baseline JSON -> 2", run(not_json, good_cur), 2)
