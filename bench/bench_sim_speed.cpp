@@ -129,6 +129,34 @@ void BM_CmpFourCoreMix(benchmark::State& state) {
 }
 BENCHMARK(BM_CmpFourCoreMix)->Unit(benchmark::kMillisecond);
 
+// Telemetry-overhead companion to BM_CmpFourCoreMix: the identical machine
+// with interval sampling on, which arms the full observability stack — the
+// per-cycle stall-taxonomy attribution, the piecewise idle-span replay, and
+// the machine-wide sample merge. The regression gate holds the sampled
+// engine to the same tolerance band as everything else, so attribution
+// creeping into the hot path (instead of staying behind the
+// sample_every_ != 0 gate) shows up as a perf-smoke failure, not a
+// mystery slowdown.
+void BM_CmpFourCoreMixSampled(benchmark::State& state) {
+  u64 insts = 0, cycles = 0;
+  for (auto _ : state) {
+    std::vector<Benchmark> work;
+    for (const u32 m : {1u, 4u, 7u, 10u})
+      for (Benchmark& b : mix_benchmarks(table2_mix(m))) work.push_back(std::move(b));
+    MachineConfig cfg = cmp_config(4, RobScheme::kReactive, 16);
+    cfg.telemetry.sample_interval = 500;
+    CmpMachine machine(cfg, work);
+    const RunResult r = machine.run(10000);
+    for (const auto& t : r.threads) insts += t.committed;
+    cycles += r.cycles;
+  }
+  state.counters["sim_insts/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CmpFourCoreMixSampled)->Unit(benchmark::kMillisecond);
+
 // Invariant-audit overhead: the four-thread two-level mix with the auditor
 // at each level, explicitly overriding any $TLROB_AUDIT ambient setting so
 // the three variants measure exactly what their names say. The cheap tier is

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/chrome_trace.hpp"
+
 namespace tlrob {
 namespace {
 
@@ -88,6 +90,12 @@ DramModel::Timing DramModel::access_bank(Addr addr, Cycle when) {
     case RowOutcome::kMiss: cnt_row_misses_->inc(); break;
     case RowOutcome::kConflict: cnt_row_conflicts_->inc(); break;
   }
+  if (trace_ != nullptr) {
+    const char* name = outcome == RowOutcome::kHit     ? "row_hit"
+                       : outcome == RowOutcome::kMiss  ? "row_open"
+                                                       : "row_conflict";
+    trace_->instant_event(static_cast<ThreadId>(i), name, start, {{"row", ref.row}});
+  }
   return {data_at, outcome};
 }
 
@@ -98,7 +106,7 @@ DramModel::Access DramModel::read(Addr addr, Cycle when) {
   const Cycle done = transfer_start + transfer_;
   bus_free_[ch] = done;
   cnt_reads_->inc();
-  return {done, t.outcome};
+  return {done, t.outcome, t.data_at};
 }
 
 DramModel::Access DramModel::write(Addr addr, Cycle when) {
@@ -107,7 +115,7 @@ DramModel::Access DramModel::write(Addr addr, Cycle when) {
   const Cycle transfer_start = std::max(t.data_at, bus_free_[ch]);
   bus_free_[ch] = transfer_start + transfer_;
   cnt_writebacks_->inc();
-  return {bus_free_[ch], t.outcome};
+  return {bus_free_[ch], t.outcome, t.data_at};
 }
 
 Cycle DramModel::bank_busy_until(u32 channel, u32 bank) const {
@@ -138,6 +146,17 @@ std::string DramModel::audit_check() const {
       if (bank_row_valid_[i] != 0) return "dram: closed-page bank holds an open row";
   }
   return {};
+}
+
+void DramModel::attach_chrome_trace(obs::ChromeTraceWriter* w) {
+  trace_ = w;
+  if (trace_ == nullptr) return;
+  for (u32 ch = 0; ch < cfg_.channels; ++ch)
+    for (u32 b = 0; b < cfg_.banks_per_channel; ++b) {
+      const u32 tid = ch * cfg_.banks_per_channel + b;
+      trace_->set_thread_name(static_cast<ThreadId>(tid),
+                              "dram ch" + std::to_string(ch) + " bank" + std::to_string(b));
+    }
 }
 
 void DramModel::reset() {

@@ -29,6 +29,10 @@
 
 namespace tlrob {
 
+namespace obs {
+class ChromeTraceWriter;
+}
+
 struct DramConfig {
   u32 channels = 2;           // line-interleaved
   u32 banks_per_channel = 8;
@@ -54,6 +58,11 @@ class DramModel {
   struct Access {
     Cycle done = 0;            // line fully transferred (fill completion)
     RowOutcome outcome = RowOutcome::kMiss;
+    /// Cycle the bank delivers data (row command chain complete, before the
+    /// channel-bus transfer) — the DRAM-core / bus boundary of the latency
+    /// chain, used by the stall-cycle taxonomy to split DRAM time from bus
+    /// serialisation time.
+    Cycle row_done = 0;
   };
 
   explicit DramModel(const DramConfig& cfg);
@@ -87,6 +96,13 @@ class DramModel {
   const StatGroup& stats() const { return stats_; }
   void reset();
 
+  /// Attaches a Chrome trace writer (nullptr detaches): every bank access
+  /// records a row-buffer instant ("row_hit" / "row_open" / "row_conflict")
+  /// on a per-bank track (tid = channel * banks_per_channel + bank) with the
+  /// row number as an arg. Pure recording inside the request path — timing
+  /// and counters are unchanged, so attachment cannot perturb a run.
+  void attach_chrome_trace(obs::ChromeTraceWriter* w);
+
  private:
   struct Timing {
     Cycle data_at;
@@ -108,6 +124,7 @@ class DramModel {
   std::vector<u64> bank_open_row_;
   std::vector<u8> bank_row_valid_;
   std::vector<Cycle> bus_free_;  // per channel
+  obs::ChromeTraceWriter* trace_ = nullptr;
   StatGroup stats_;
   Counter* cnt_reads_;
   Counter* cnt_writebacks_;

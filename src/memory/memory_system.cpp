@@ -21,7 +21,8 @@ MemorySystem::L2Result MemorySystem::access_l2(Addr addr, Cycle when) {
   const Cache::Probe p = l2_->probe(addr, tag_done);
   if (p.present) {
     // Resident (ready_at <= tag_done) or merged into an in-flight fill.
-    return {std::max(p.ready_at, tag_done), p.ready_at > tag_done && p.fill_from_memory};
+    const Cycle ready = std::max(p.ready_at, tag_done);
+    return {ready, p.ready_at > tag_done && p.fill_from_memory, ready, ready, ready};
   }
   if (backend_ != nullptr) {
     // CMP path: the miss goes to the shared LLC; only a DRAM-bound fill
@@ -32,13 +33,20 @@ MemorySystem::L2Result MemorySystem::access_l2(Addr addr, Cycle when) {
     Addr victim = 0;
     l2_->fill(addr, tag_done, f.ready, f.llc_miss, &evicted_dirty, &victim);
     if (evicted_dirty) backend_->request_writeback(victim, f.ready, core_id_);
-    return {f.ready, f.llc_miss};
+    // Private time ends at the L2 tag check; the backend supplies the
+    // LLC/DRAM edges (clamped into order for the merged/hit paths, whose
+    // edges collapse onto ready).
+    const Cycle seg_llc = std::max(tag_done, std::min(f.seg_llc_end, f.ready));
+    const Cycle seg_dram = std::max(seg_llc, std::min(f.seg_dram_end, f.ready));
+    return {f.ready, f.llc_miss, tag_done, seg_llc, seg_dram};
   }
   const Cycle fill_done = channel_->request_fill(tag_done);
   bool evicted_dirty = false;
   l2_->fill(addr, tag_done, fill_done, /*from_memory=*/true, &evicted_dirty);
   if (evicted_dirty) channel_->request_writeback(fill_done);
-  return {fill_done, true};
+  // Legacy fixed-latency channel: no shared backend to attribute, the whole
+  // chain is private-hierarchy time.
+  return {fill_done, true, fill_done, fill_done, fill_done};
 }
 
 DataAccess MemorySystem::access_data(Addr addr, bool is_store, Cycle now) {
@@ -49,16 +57,23 @@ DataAccess MemorySystem::access_data(Addr addr, bool is_store, Cycle now) {
   if (p.present && p.ready_at <= l1_done) {
     out.l1_hit = true;
     out.data_ready = l1_done;
+    out.seg_private = out.seg_llc = out.seg_dram = l1_done;
   } else if (p.present) {
-    // Merge into the in-flight L1 fill.
+    // Merge into the in-flight L1 fill. The merged chain's shared-backend
+    // split is not tracked per line, so the wait is attributed to the
+    // private hierarchy (the L1 MSHR it rides).
     out.data_ready = p.ready_at;
     out.l2_miss = p.fill_from_memory;
     out.l2_miss_detect = now + cfg_.l1d.hit_latency + cfg_.l2.hit_latency;
+    out.seg_private = out.seg_llc = out.seg_dram = p.ready_at;
   } else {
     const L2Result l2r = access_l2(addr, l1_done);
     out.data_ready = l2r.ready;
     out.l2_miss = l2r.from_memory;
     out.l2_miss_detect = now + cfg_.l1d.hit_latency + cfg_.l2.hit_latency;
+    out.seg_private = l2r.seg_private;
+    out.seg_llc = l2r.seg_llc;
+    out.seg_dram = l2r.seg_dram;
     bool evicted_dirty = false;
     l1d_->fill(addr, l1_done, l2r.ready, l2r.from_memory, &evicted_dirty);
     if (evicted_dirty) {

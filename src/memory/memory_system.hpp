@@ -27,6 +27,15 @@ struct DataAccess {
   bool l1_hit = false;        // data was ready in L1 at lookup time
   bool l2_miss = false;       // the access (or the fill it merged into) went to memory
   Cycle l2_miss_detect = 0;   // cycle at which the L2 miss is discovered
+  // Stall-taxonomy segment edges (absolute cycles, non-decreasing, all <=
+  // data_ready): private L1/L2 time runs to seg_private, shared-LLC time to
+  // seg_llc, DRAM bank/row time to seg_dram; any remainder up to data_ready
+  // is channel-bus serialisation. Accesses that never leave the private
+  // hierarchy (L1 hits, L2 hits, in-flight merges, legacy channel fills)
+  // have all three edges == data_ready.
+  Cycle seg_private = 0;
+  Cycle seg_llc = 0;
+  Cycle seg_dram = 0;
 };
 
 class MemorySystem {
@@ -64,10 +73,14 @@ class MemorySystem {
 
  private:
   /// Looks up the L2 at `when`; returns when the line (containing `addr`)
-  /// can be delivered upward, and whether memory was involved.
+  /// can be delivered upward, and whether memory was involved. The seg_*
+  /// edges mirror DataAccess (all == ready for paths that stay private).
   struct L2Result {
     Cycle ready;
     bool from_memory;
+    Cycle seg_private;
+    Cycle seg_llc;
+    Cycle seg_dram;
   };
   L2Result access_l2(Addr addr, Cycle when);
 

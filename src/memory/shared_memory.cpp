@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/chrome_trace.hpp"
+
 namespace tlrob {
 namespace {
 
@@ -57,12 +59,18 @@ SharedMemory::Fill SharedMemory::request_fill(Addr addr, Cycle when, u32 core) {
       const u64 line = addr >> line_shift_;
       for (auto it = inflight_.rbegin(); it != inflight_.rend(); ++it) {
         if (it->line == line) {
-          if (it->core != core) cnt_cross_core_merges_->inc();
+          if (it->core != core) {
+            cnt_cross_core_merges_->inc();
+            if (trace_ != nullptr)
+              trace_->instant_event(llc_tid_, "cross_core_merge", tag_done,
+                                    {{"core", core}, {"owner", it->core}});
+          }
           break;
         }
       }
     }
-    return {std::max(p.ready_at, tag_done), p.ready_at > tag_done && p.fill_from_memory};
+    const Cycle ready = std::max(p.ready_at, tag_done);
+    return {ready, p.ready_at > tag_done && p.fill_from_memory, ready, ready};
   }
   const Cycle start = admit(tag_done);
   const DramModel::Access a = dram_->read(addr, start);
@@ -71,7 +79,10 @@ SharedMemory::Fill SharedMemory::request_fill(Addr addr, Cycle when, u32 core) {
   llc_->fill(addr, tag_done, a.done, /*from_memory=*/true, &evicted_dirty, &victim);
   if (evicted_dirty) dram_->write(victim, a.done);
   inflight_.push_back({addr >> line_shift_, core, a.done});
-  return {a.done, true};
+  if (trace_ != nullptr)
+    trace_->counter_event(llc_tid_, "llc_mshr_occupancy", start,
+                          static_cast<u64>(inflight_.size()));
+  return {a.done, true, start, a.row_done};
 }
 
 void SharedMemory::request_writeback(Addr addr, Cycle when, u32 core) {
@@ -89,6 +100,13 @@ std::string SharedMemory::audit_check() const {
     return os.str();
   }
   return dram_->audit_check();
+}
+
+void SharedMemory::attach_chrome_trace(obs::ChromeTraceWriter* w) {
+  trace_ = w;
+  llc_tid_ = static_cast<ThreadId>(dram_->config().channels * dram_->config().banks_per_channel);
+  dram_->attach_chrome_trace(w);
+  if (trace_ != nullptr) trace_->set_thread_name(llc_tid_, "llc mshr pool");
 }
 
 void SharedMemory::reset_stats() {

@@ -41,6 +41,15 @@ class SharedMemory {
   struct Fill {
     Cycle ready = 0;        // absolute cycle the line reaches the requesting L2
     bool llc_miss = false;  // the line (or the fill it merged into) went to DRAM
+    // Stall-taxonomy segment edges of the latency chain (absolute cycles,
+    // only meaningful when <= ready). LLC time (tag check + MSHR-pool
+    // queueing + cross-core merge wait) runs to seg_llc_end, DRAM bank/row
+    // time to seg_dram_end, and the remainder up to `ready` is channel-bus
+    // serialisation. LLC hits and merged fills attribute the whole chain to
+    // the LLC bucket (both edges == ready): the wait is by definition
+    // queueing behind shared-cache state.
+    Cycle seg_llc_end = 0;
+    Cycle seg_dram_end = 0;
   };
 
   /// L2-miss fill from core `core` issued at cycle `when` (the core's L2 tag
@@ -65,6 +74,14 @@ class SharedMemory {
   const LlcConfig& config() const { return cfg_; }
 
   u32 inflight_count() const { return static_cast<u32>(inflight_.size()); }
+
+  /// Attaches a Chrome trace writer (nullptr detaches) for the backend's
+  /// pseudo-process: an MSHR-pool occupancy counter track plus cross-core
+  /// merge instants on an "llc" track (tid = one past the DRAM bank tids),
+  /// and per-bank row-buffer instants via DramModel::attach_chrome_trace.
+  /// Every hook fires inside a request call — state-changing ticks only — so
+  /// the trace is identical under machine-wide idle fast-forward.
+  void attach_chrome_trace(obs::ChromeTraceWriter* w);
 
   void reset_stats();
 
@@ -91,6 +108,8 @@ class SharedMemory {
   // so admit() min-scans; the pool is bounded by mshr_entries, so the scan
   // is short.
   std::vector<InflightFill> inflight_;
+  obs::ChromeTraceWriter* trace_ = nullptr;
+  ThreadId llc_tid_ = 0;  // trace track one past the DRAM bank tracks
   StatGroup stats_;
   Counter* cnt_cross_core_merges_;
   Counter* cnt_mshr_full_stalls_;

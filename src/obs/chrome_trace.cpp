@@ -9,9 +9,19 @@ namespace tlrob::obs {
 using runner::json_escape;
 using runner::json_u64;
 
+void ChromeTraceWriter::set_process_name(const std::string& name) {
+  Event e;
+  e.ph = 'M';
+  e.proc_meta = true;
+  e.pid = pid_;
+  e.name = name;
+  events_.push_back(std::move(e));
+}
+
 void ChromeTraceWriter::set_thread_name(ThreadId tid, const std::string& name) {
   Event e;
   e.ph = 'M';
+  e.pid = pid_;
   e.tid = tid;
   e.name = name;
   events_.push_back(std::move(e));
@@ -21,6 +31,7 @@ void ChromeTraceWriter::complete_event(ThreadId tid, const std::string& name, Cy
                                        Cycle end, std::vector<Arg> args) {
   Event e;
   e.ph = 'X';
+  e.pid = pid_;
   e.tid = tid;
   e.name = name;
   e.ts = start;
@@ -33,6 +44,7 @@ void ChromeTraceWriter::instant_event(ThreadId tid, const std::string& name, Cyc
                                       std::vector<Arg> args) {
   Event e;
   e.ph = 'i';
+  e.pid = pid_;
   e.tid = tid;
   e.name = name;
   e.ts = ts;
@@ -44,6 +56,7 @@ void ChromeTraceWriter::counter_event(ThreadId tid, const std::string& name, Cyc
                                       u64 value) {
   Event e;
   e.ph = 'C';
+  e.pid = pid_;
   e.tid = tid;
   e.name = name;
   e.ts = ts;
@@ -53,27 +66,32 @@ void ChromeTraceWriter::counter_event(ThreadId tid, const std::string& name, Cyc
 
 size_t ChromeTraceWriter::count_named(char ph, const std::string& name) const {
   return static_cast<size_t>(std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
-    // Metadata events serialise under the fixed name "thread_name" (the
-    // stored name is the track label), so match what write() emits.
-    if (e.ph == 'M') return ph == 'M' && name == "thread_name";
+    // Metadata events serialise under the fixed names "thread_name" /
+    // "process_name" (the stored name is the label), so match what write()
+    // emits.
+    if (e.ph == 'M')
+      return ph == 'M' && name == (e.proc_meta ? "process_name" : "thread_name");
     return e.ph == ph && e.name == name;
   }));
 }
 
-void ChromeTraceWriter::write(std::ostream& os) const {
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const Event& e : events_) {
+void ChromeTraceWriter::write_events(std::ostream& os, const std::vector<Event>& events,
+                                     bool& first) {
+  for (const Event& e : events) {
     if (!first) os << ",\n";
     first = false;
     if (e.ph == 'M') {
-      // Thread-name metadata: args.name carries the label.
-      os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << json_u64(e.tid)
-         << ",\"name\":\"thread_name\",\"args\":{\"name\":" << json_escape(e.name) << "}}";
+      // Metadata: args.name carries the label. process_name events omit tid
+      // (they label the whole pid group).
+      os << "{\"ph\":\"M\",\"pid\":" << json_u64(e.pid);
+      if (!e.proc_meta) os << ",\"tid\":" << json_u64(e.tid);
+      os << ",\"name\":\"" << (e.proc_meta ? "process_name" : "thread_name")
+         << "\",\"args\":{\"name\":" << json_escape(e.name) << "}}";
       continue;
     }
-    os << "{\"ph\":\"" << e.ph << "\",\"pid\":0,\"tid\":" << json_u64(e.tid)
-       << ",\"name\":" << json_escape(e.name) << ",\"ts\":" << json_u64(e.ts);
+    os << "{\"ph\":\"" << e.ph << "\",\"pid\":" << json_u64(e.pid)
+       << ",\"tid\":" << json_u64(e.tid) << ",\"name\":" << json_escape(e.name)
+       << ",\"ts\":" << json_u64(e.ts);
     if (e.ph == 'X') os << ",\"dur\":" << json_u64(e.dur);
     if (e.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
     if (!e.args.empty()) {
@@ -86,6 +104,18 @@ void ChromeTraceWriter::write(std::ostream& os) const {
     }
     os << "}";
   }
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  write_merged(os, {this});
+}
+
+void ChromeTraceWriter::write_merged(std::ostream& os,
+                                     const std::vector<const ChromeTraceWriter*>& writers) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ChromeTraceWriter* w : writers)
+    if (w != nullptr) write_events(os, w->events_, first);
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"1 ts = 1 simulated cycle\"}}\n";
 }
 

@@ -1,8 +1,10 @@
 // Structured event trace in the Chrome trace-event JSON format, loadable in
 // Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
-// The writer gives each hardware thread its own track (pid 0 / tid N, named
-// via thread_name metadata) and records:
+// The writer gives each hardware thread its own track (pid P / tid N, named
+// via thread_name metadata; a single-core run uses the default pid 0, the
+// CMP engine gives every core its own pid/process and the shared LLC/DRAM
+// backend a pseudo-process after the last core) and records:
 //   - duration spans ("X" complete events): second-level grant lifecycles
 //     (acquire -> release, with the trigger load and decision DoD as args)
 //     and L2-miss shadows (miss detection -> line fill, per load);
@@ -43,6 +45,17 @@ class ChromeTraceWriter {
     u64 value = 0;
   };
 
+  /// Sets the process id stamped on every subsequently recorded event
+  /// (default 0). The CMP engine assigns pid = core index to each core's
+  /// writer and pid = num_cores to the shared-backend writer so Perfetto
+  /// groups tracks by core.
+  void set_pid(u32 pid) { pid_ = pid; }
+  u32 pid() const { return pid_; }
+
+  /// Names this writer's process (process_name metadata under the current
+  /// pid); typically "core0" or "shared llc/dram".
+  void set_process_name(const std::string& name);
+
   /// Names the track for hardware thread `tid` (shown by Perfetto in track
   /// order); typically "t0 <benchmark>".
   void set_thread_name(ThreadId tid, const std::string& name);
@@ -68,11 +81,19 @@ class ChromeTraceWriter {
   /// Events are written in recording order; trace viewers sort by ts.
   void write(std::ostream& os) const;
 
+  /// Serialises several writers (e.g. one per core plus the shared backend)
+  /// into a single JSON document. Each writer's events keep their own pid, so
+  /// the merged trace renders as one process group per writer.
+  static void write_merged(std::ostream& os,
+                           const std::vector<const ChromeTraceWriter*>& writers);
+
   void clear() { events_.clear(); }
 
  private:
   struct Event {
     char ph = 'i';  // 'X' | 'i' | 'C' | 'M'
+    bool proc_meta = false;  // 'M' only: process_name (vs thread_name)
+    u32 pid = 0;
     ThreadId tid = 0;
     std::string name;
     Cycle ts = 0;
@@ -80,6 +101,9 @@ class ChromeTraceWriter {
     std::vector<Arg> args;
   };
 
+  static void write_events(std::ostream& os, const std::vector<Event>& events, bool& first);
+
+  u32 pid_ = 0;
   std::vector<Event> events_;
 };
 

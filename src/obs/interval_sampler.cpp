@@ -15,7 +15,16 @@ constexpr ThreadId kNoOwner = 0xffffffffu;
 using runner::json_double;
 using runner::json_u64;
 
+constexpr const char* kStallClassNames[kStallClassCount] = {
+    "commit", "frontend", "mem_private", "mem_llc",
+    "mem_dram", "mem_bus", "rob2_wait", "other",
+};
+
 }  // namespace
+
+const char* stall_class_name(StallClass c) {
+  return kStallClassNames[static_cast<size_t>(c)];
+}
 
 void IntervalSeries::write_jsonl(std::ostream& os) const {
   std::vector<u64> prev_committed;
@@ -27,7 +36,8 @@ void IntervalSeries::write_jsonl(std::ostream& os) const {
       os << "null";
     else
       os << json_u64(s.second_level_owner);
-    os << ",\"iq_occ\":" << json_u64(s.iq_occ_total) << ",\"threads\":[";
+    os << ",\"iq_occ\":" << json_u64(s.iq_occ_total)
+       << ",\"llc_mshr\":" << json_u64(s.llc_mshr_occ) << ",\"threads\":[";
     for (size_t t = 0; t < s.threads.size(); ++t) {
       const ThreadSample& th = s.threads[t];
       const u64 delta = th.committed - std::min(th.committed, prev_committed[t]);
@@ -39,7 +49,12 @@ void IntervalSeries::write_jsonl(std::ostream& os) const {
          << ",\"dod\":" << json_u64(th.dod_proxy) << ",\"mlp\":" << json_u64(th.outstanding_l2)
          << ",\"dcra_iq_cap\":" << json_u64(th.dcra_iq_cap)
          << ",\"committed\":" << json_u64(th.committed) << ",\"ipc\":" << json_double(ipc)
-         << "}";
+         << ",\"stall\":[";
+      for (size_t c = 0; c < kStallClassCount; ++c) {
+        if (c != 0) os << ",";
+        os << json_u64(th.stall[c]);
+      }
+      os << "]}";
       prev_committed[t] = th.committed;
     }
     os << "]}\n";
@@ -48,7 +63,10 @@ void IntervalSeries::write_jsonl(std::ostream& os) const {
 
 void IntervalSeries::write_csv(std::ostream& os) const {
   os << "cycle,thread,rob_occ,rob_cap,iq_occ,lsq_occ,dod_proxy,outstanding_l2,"
-        "dcra_iq_cap,committed,interval_ipc,second_level_owner\n";
+        "dcra_iq_cap,committed,interval_ipc,second_level_owner,llc_mshr";
+  for (size_t c = 0; c < kStallClassCount; ++c)
+    os << ",stall_" << kStallClassNames[c];
+  os << "\n";
   std::vector<u64> prev_committed;
   for (const IntervalSample& s : samples_) {
     prev_committed.resize(s.threads.size(), 0);
@@ -64,6 +82,8 @@ void IntervalSeries::write_csv(std::ostream& os) const {
         os << "none";
       else
         os << s.second_level_owner;
+      os << "," << s.llc_mshr_occ;
+      for (size_t c = 0; c < kStallClassCount; ++c) os << "," << th.stall[c];
       os << "\n";
       prev_committed[t] = th.committed;
     }
@@ -103,6 +123,43 @@ std::map<std::string, u64> series_summary_counters(const IntervalSeries& series)
   return counters;
 }
 
+std::map<std::string, u64> stall_summary_counters(
+    const std::vector<std::array<u64, kStallClassCount>>& per_thread) {
+  std::map<std::string, u64> counters;
+  for (size_t t = 0; t < per_thread.size(); ++t) {
+    const std::string prefix = "stall.t" + std::to_string(t) + ".";
+    for (size_t c = 0; c < kStallClassCount; ++c)
+      counters[prefix + kStallClassNames[c] + "_cycles"] = per_thread[t][c];
+  }
+  return counters;
+}
+
+std::map<std::string, u64> cmp_summary_counters(
+    const IntervalSeries& series,
+    const std::vector<std::array<u64, kStallClassCount>>& per_thread, u32 num_cores) {
+  std::map<std::string, u64> counters;
+  if (per_thread.empty()) return counters;
+  counters["obs.cmp.cores"] = num_cores;
+  u64 llc = 0, dram = 0, bus = 0;
+  for (const auto& th : per_thread) {
+    llc += th[static_cast<size_t>(StallClass::kMemLlc)];
+    dram += th[static_cast<size_t>(StallClass::kMemDram)];
+    bus += th[static_cast<size_t>(StallClass::kMemBus)];
+  }
+  counters["obs.cmp.stall_llc_cycles"] = llc;
+  counters["obs.cmp.stall_dram_cycles"] = dram;
+  counters["obs.cmp.stall_bus_cycles"] = bus;
+  if (!series.empty()) {
+    u32 max_occ = 1;
+    for (const IntervalSample& s : series.samples())
+      max_occ = std::max(max_occ, s.llc_mshr_occ);
+    Histogram mshr(max_occ);
+    for (const IntervalSample& s : series.samples()) mshr.record(s.llc_mshr_occ);
+    counters["obs.cmp.llc_mshr_p90"] = mshr.percentile(90.0);
+  }
+  return counters;
+}
+
 IntervalSeries merge_core_series(const std::vector<const IntervalSeries*>& cores) {
   if (cores.empty()) return IntervalSeries{};
   IntervalSeries out(cores.front()->interval());
@@ -114,6 +171,9 @@ IntervalSeries merge_core_series(const std::vector<const IntervalSeries*>& cores
     IntervalSample merged;
     merged.cycle = cores.front()->samples()[i].cycle;
     merged.second_level_owner = cores.front()->samples()[i].second_level_owner;
+    // Every core samples the same shared backend, so core 0's MSHR-pool
+    // occupancy is the machine-wide value.
+    merged.llc_mshr_occ = cores.front()->samples()[i].llc_mshr_occ;
     for (const IntervalSeries* c : cores) {
       const IntervalSample& s = c->samples()[i];
       if (s.cycle != merged.cycle)

@@ -19,6 +19,7 @@
 //           pandas consumption.
 #pragma once
 
+#include <array>
 #include <map>
 #include <ostream>
 #include <string>
@@ -27,6 +28,29 @@
 #include "common/types.hpp"
 
 namespace tlrob::obs {
+
+/// Stall-cycle taxonomy: every cycle of a thread's measurement window is
+/// attributed to exactly one class (closed accounting — the per-thread sum
+/// equals the run's cycle count, pinned by ctest). Classification is a pure
+/// function of quiescent machine state plus the commit delta of the cycle,
+/// which is what lets fast-forwarded spans be attributed piecewise from the
+/// latency-chain segment edges without executing the skipped cycles.
+enum class StallClass : u8 {
+  kCommit = 0,      // committed at least one instruction (or head done,
+                    //  commit-bandwidth/ROB-order bound)
+  kFrontend,        // ROB empty: fetch/decode starvation (incl. I-miss)
+  kMemPrivate,      // head blocked on a load inside the private L1/L2
+  kMemLlc,          // head load waiting on shared-LLC tag/MSHR queueing or a
+                    //  cross-core merged fill
+  kMemDram,         // head load inside the DRAM bank/row command chain
+  kMemBus,          // head load serialised on a DRAM channel bus transfer
+  kRob2Wait,        // long-latency load registered, second level not granted
+  kOther,           // everything else (issue/exec latency, squash recovery)
+};
+inline constexpr size_t kStallClassCount = 8;
+
+/// Short dotted-counter-safe names, indexed by StallClass.
+const char* stall_class_name(StallClass c);
 
 /// Per-thread slice of one sample.
 struct ThreadSample {
@@ -38,6 +62,9 @@ struct ThreadSample {
   u32 outstanding_l2 = 0;  // in-flight L2 misses (MLP)
   u32 dcra_iq_cap = 0;     // DCRA's current issue-queue cap for this thread
   u64 committed = 0;       // cumulative committed (measurement-relative)
+  /// Cumulative stall-taxonomy cycles (measurement-relative), indexed by
+  /// StallClass; sums to the sample's cycle offset by construction.
+  std::array<u64, kStallClassCount> stall{};
 
   bool operator==(const ThreadSample&) const = default;
 };
@@ -48,6 +75,7 @@ struct IntervalSample {
   Cycle cycle = 0;
   ThreadId second_level_owner = 0xffffffffu;  // SecondLevelRob::kNoOwner
   u32 iq_occ_total = 0;
+  u32 llc_mshr_occ = 0;  // shared-backend MSHR pool occupancy (0 w/o backend)
   std::vector<ThreadSample> threads;
 
   bool operator==(const IntervalSample&) const = default;
@@ -99,6 +127,25 @@ class IntervalSeries {
 ///   obs.tN.dod_p90              — DoD-proxy percentile
 /// Empty when the series is empty (so disabled telemetry adds no keys).
 std::map<std::string, u64> series_summary_counters(const IntervalSeries& series);
+
+/// Flattens a run's closed stall-cycle taxonomy (RunResult::stall_cycles,
+/// machine-global thread order) into the counter namespace:
+///   stall.tN.<class>_cycles — one key per thread per StallClass.
+/// Empty input (taxonomy off) adds no keys.
+std::map<std::string, u64> stall_summary_counters(
+    const std::vector<std::array<u64, kStallClassCount>>& per_thread);
+
+/// CMP-wide interference summary, derived from the merged series and the
+/// machine-global taxonomy:
+///   obs.cmp.cores             — core count
+///   obs.cmp.llc_mshr_p90      — MSHR-pool occupancy percentile over samples
+///   obs.cmp.stall_llc_cycles  — total cycles attributed to LLC contention
+///   obs.cmp.stall_dram_cycles — total DRAM bank/row cycles
+///   obs.cmp.stall_bus_cycles  — total channel-bus serialisation cycles
+/// Empty when the taxonomy is empty (telemetry off).
+std::map<std::string, u64> cmp_summary_counters(
+    const IntervalSeries& series,
+    const std::vector<std::array<u64, kStallClassCount>>& per_thread, u32 num_cores);
 
 /// Machine-wide series of a CMP run: per-sample, the cores' thread slices
 /// concatenate in core order (machine-global thread indexing), the shared-IQ

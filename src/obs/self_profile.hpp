@@ -58,6 +58,15 @@ class SelfProfiler {
   u64 calls(Phase p) const { return calls_[static_cast<size_t>(p)]; }
   u64 total_attributed_nanos() const;
 
+  /// Adds another profiler's accumulators into this one (phase-wise nanos
+  /// and call counts) — CmpMachine merges its cores' profiles this way.
+  void merge(const SelfProfiler& other) {
+    for (size_t i = 0; i < static_cast<size_t>(Phase::kCount); ++i) {
+      nanos_[i] += other.nanos_[i];
+      calls_[i] += other.calls_[i];
+    }
+  }
+
   void reset();
 
   /// Summary table: per phase, total ms, share of attributed time, and

@@ -56,6 +56,12 @@ struct DynInst {
   bool l2_counted = false;
   Cycle l2_miss_detect_cycle = kNeverCycle;
   Cycle fill_cycle = kNeverCycle;
+  // Stall-taxonomy segment edges of an in-flight load's latency chain
+  // (absolute cycles, non-decreasing; see DataAccess::seg_*). Only set on
+  // issued loads that missed the L1; 0 otherwise.
+  Cycle seg_private_end = 0;
+  Cycle seg_llc_end = 0;
+  Cycle seg_dram_end = 0;
 
   // -- speculative scheduling ------------------------------------------------
   bool spec_used[2] = {false, false};  // issued on a speculatively-ready source

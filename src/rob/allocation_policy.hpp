@@ -123,6 +123,12 @@ class TwoLevelRobController {
   bool audit_has_trigger(ThreadId tid) const { return threads_[tid].has_trigger; }
   u64 audit_trigger_tseq(ThreadId tid) const { return threads_[tid].trigger_tseq; }
 
+  /// Stall-taxonomy introspection: whether `tid` has a registered allocation
+  /// candidate (a long-latency load waiting on — or holding out for — the
+  /// second-level window). Candidates mutate only in notification calls and
+  /// active ticks, so this is constant across an idle fast-forwarded span.
+  bool has_pending_candidate(ThreadId tid) const { return !threads_[tid].cands.empty(); }
+
  private:
   struct Candidate {
     u64 tseq = 0;

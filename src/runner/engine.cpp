@@ -62,6 +62,15 @@ JobRecord execute_job(const JobSpec& spec) {
     // pure function of the JobSpec (so identical for any worker count).
     for (const auto& [name, v] : obs::series_summary_counters(run.samples))
       rec.counters[name] = v;
+    // Same contract for the stall taxonomy and the CMP interference rollup:
+    // structured RunResult fields flattened here (never inside the core, so
+    // a telemetry-on run's engine counters stay identical to telemetry-off).
+    for (const auto& [name, v] : obs::stall_summary_counters(run.stall_cycles))
+      rec.counters[name] = v;
+    if (cfg.num_cores > 1 || cfg.llc.enabled)
+      for (const auto& [name, v] :
+           obs::cmp_summary_counters(run.samples, run.stall_cycles, cfg.num_cores))
+        rec.counters[name] = v;
     if (!run.samples.empty() && !spec.sample_dir.empty()) {
       const std::string path =
           spec.sample_dir + "/samples_job" + std::to_string(spec.index) + ".jsonl";

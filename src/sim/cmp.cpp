@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "memory/shared_memory.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace tlrob {
 
@@ -35,6 +39,37 @@ CmpMachine::CmpMachine(const MachineConfig& cfg, const std::vector<Benchmark>& b
 
 void CmpMachine::tick() {
   for (auto& c : cores_) c->tick();
+}
+
+void CmpMachine::attach_chrome_trace(const std::vector<obs::ChromeTraceWriter*>& per_core,
+                                     obs::ChromeTraceWriter* backend) {
+  if (per_core.size() != cores_.size())
+    throw std::invalid_argument("CmpMachine::attach_chrome_trace: one writer per core required");
+  for (size_t c = 0; c < cores_.size(); ++c) {
+    // pid before attach: the core's thread_name metadata events stamp the
+    // writer's pid at emission time.
+    per_core[c]->set_pid(static_cast<u32>(c));
+    per_core[c]->set_process_name("core" + std::to_string(c));
+    cores_[c]->attach_chrome_trace(per_core[c]);
+  }
+  if (backend != nullptr && shared_ != nullptr) {
+    backend->set_pid(static_cast<u32>(cores_.size()));
+    backend->set_process_name("shared backend");
+    shared_->attach_chrome_trace(backend);
+  }
+}
+
+obs::SelfProfiler CmpMachine::aggregate_profile() const {
+  obs::SelfProfiler total;
+  total.enable(cfg_.telemetry.profile);
+  for (const auto& c : cores_) total.merge(c->profiler());
+  return total;
+}
+
+u64 CmpMachine::executed_cycles() const {
+  u64 total = 0;
+  for (const auto& c : cores_) total += c->executed_cycles();
+  return total;
 }
 
 void CmpMachine::step_all(Cycle limit) {
@@ -113,6 +148,9 @@ RunResult CmpMachine::snapshot_result() const {
     const RunResult rc = cores_[c]->snapshot_result();
     // Threads concatenate core-major; cycles are lockstep-equal across cores.
     r.threads.insert(r.threads.end(), rc.threads.begin(), rc.threads.end());
+    // Stall taxonomy concatenates in the same machine-global thread order
+    // (empty vectors when telemetry is off keep this a no-op).
+    r.stall_cycles.insert(r.stall_cycles.end(), rc.stall_cycles.begin(), rc.stall_cycles.end());
     r.dod_true.merge(rc.dod_true);
     r.dod_proxy.merge(rc.dod_proxy);
     // Per-core counters sum under their historical names ("l2.misses" is the

@@ -56,6 +56,26 @@ class CmpMachine {
   /// Null when the machine has no shared backend (1 core, LLC disabled).
   SharedMemory* shared_memory() { return shared_.get(); }
 
+  /// Machine-wide Chrome tracing: one writer per core (process track
+  /// "core<c>", pid = core index, carrying that core's thread/grant tracks)
+  /// plus an optional backend writer (pid = num_cores, process "shared
+  /// backend") that records LLC MSHR-pool occupancy, per-bank DRAM row
+  /// open/conflict instants and cross-core merge events. Pass
+  /// `per_core.size() == num_cores()`; `backend` may be null (and is
+  /// ignored without a shared backend). Merge the writers with
+  /// obs::ChromeTraceWriter::write_merged for one Perfetto-loadable file.
+  void attach_chrome_trace(const std::vector<obs::ChromeTraceWriter*>& per_core,
+                           obs::ChromeTraceWriter* backend);
+
+  /// Sum of the cores' host self-profilers (phase nanos and call counts),
+  /// for one machine-wide profile= table.
+  obs::SelfProfiler aggregate_profile() const;
+
+  /// Machine-wide executed ticks (sum over cores of cycles minus their
+  /// fast-forwarded spans) — the ns/cycle denominator for
+  /// aggregate_profile().print.
+  u64 executed_cycles() const;
+
   /// Machine-wide result: concatenated threads, summed per-core counters,
   /// shared llc.*/dram.* families, merged DoD histograms and sample series.
   RunResult snapshot_result() const;

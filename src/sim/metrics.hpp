@@ -3,6 +3,7 @@
 // (Luo et al., ISPASS 2001; called "fairness" there).
 #pragma once
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,6 +37,13 @@ struct RunResult {
   /// Interval-telemetry time series (empty unless
   /// MachineConfig::telemetry.sample_interval was nonzero).
   obs::IntervalSeries samples;
+
+  /// Closed stall-cycle taxonomy: per thread (machine-global order), cycles
+  /// attributed to each obs::StallClass; each thread's classes sum to
+  /// `cycles`. Empty when sampling is off — kept out of `counters` so a
+  /// telemetry-on run's counter map stays identical to the telemetry-off
+  /// run's (the runner flattens it via obs::stall_summary_counters).
+  std::vector<std::array<u64, obs::kStallClassCount>> stall_cycles;
 
   double total_throughput() const;
 };

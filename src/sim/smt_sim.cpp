@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "memory/shared_memory.hpp"
+
 namespace tlrob {
 
 namespace {
@@ -80,6 +82,9 @@ SmtCore::SmtCore(const MachineConfig& cfg, const std::vector<Benchmark>& benchma
   std::vector<ReorderBuffer*> robs;
   for (auto& ts : threads_) robs.push_back(&ts.rob);
   rob_ctrl_ = std::make_unique<TwoLevelRobController>(cfg.rob, std::move(robs), second_);
+
+  stall_cycles_.assign(cfg.num_threads, {});
+  commit_base_scratch_.assign(cfg.num_threads, 0);
 
   views_.resize(cfg.num_threads);
   order_.reserve(cfg.num_threads);
@@ -395,6 +400,9 @@ void SmtCore::undispatch_after(ThreadId tid, u64 tseq) {
     d.is_l2_miss = false;
     d.l2_miss_detect_cycle = kNeverCycle;
     d.fill_cycle = kNeverCycle;
+    d.seg_private_end = 0;
+    d.seg_llc_end = 0;
+    d.seg_dram_end = 0;
     d.complete_cycle = kNeverCycle;
     d.spec_used[0] = d.spec_used[1] = false;
     d.src_phys[0] = d.src_phys[1] = kInvalidPhysReg;
@@ -579,6 +587,13 @@ void SmtCore::issue_load(DynInst& di) {
     schedule(data_cycle, EvKind::kLoadFill, di);
     return;
   }
+
+  // Stall-taxonomy segment edges of the miss's latency chain (pure
+  // annotation; classify_stall reads them off the ROB head while the load
+  // is outstanding).
+  di.seg_private_end = da.seg_private;
+  di.seg_llc_end = da.seg_llc;
+  di.seg_dram_end = da.seg_dram;
 
   (di.wrong_path ? cnt_loads_l1_miss_wp_ : cnt_loads_l1_miss_)->inc();
   if (!di.l1_counted) {
@@ -906,6 +921,12 @@ bool SmtCore::tick_impl() {
     }
   };
 
+  // Commit baseline for the stall taxonomy's kCommit detection (on only with
+  // the sampler; one predictable branch otherwise).
+  if (sample_every_ != 0)
+    for (ThreadId t = 0; t < cfg_.num_threads; ++t)
+      commit_base_scratch_[t] = threads_[t].committed;
+
   bool active = false;
   if (process_events()) active = true;
   lap(obs::Phase::kEvents);
@@ -935,6 +956,9 @@ bool SmtCore::tick_impl() {
   // happen in state-changing ticks, so polling per executed tick sees every
   // tenure edge; the sampler compare is the whole per-tick cost when off.
   if (trace_ != nullptr || tracer_.attached()) poll_second_level();
+  // Stall taxonomy: attribute the cycle just simulated before the sampler
+  // runs, so a sample labelled L carries the attribution through cycle L-1.
+  if (sample_every_ != 0) attribute_tick();
   if (sample_every_ != 0 && cycle_ + 1 == next_sample_) {
     record_sample(next_sample_);
     next_sample_ += sample_every_;
@@ -942,6 +966,65 @@ bool SmtCore::tick_impl() {
   }
   ++cycle_;
   return active;
+}
+
+obs::StallClass SmtCore::classify_stall(ThreadId t, Cycle c, bool committed_now) const {
+  using obs::StallClass;
+  if (committed_now) return StallClass::kCommit;
+  const ThreadState& ts = threads_[t];
+  if (ts.rob.empty()) return StallClass::kFrontend;
+  const DynInst& h = *ts.rob.head();
+  // Head done but not yet retired: commit-bandwidth / retirement-order bound.
+  if (h.executed) return StallClass::kCommit;
+  if (h.is_load() && h.issued) {
+    // In-flight load at the head: segment the wait by the latency chain's
+    // recorded edges. Loads that never left the private hierarchy (LSQ
+    // forwards, L1 hits, legacy-channel fills) carry all-equal edges and
+    // attribute entirely to the private bucket.
+    if (c < h.seg_private_end) return StallClass::kMemPrivate;
+    if (c < h.seg_llc_end) return StallClass::kMemLlc;
+    if (c < h.seg_dram_end) return StallClass::kMemDram;
+    // Tail past the last edge (bus transfer + load-to-use delivery): bus time
+    // when the chain had a DRAM segment, else it stays with the deepest level
+    // the chain reached.
+    if (h.seg_dram_end > h.seg_llc_end) return StallClass::kMemBus;
+    if (h.seg_llc_end > h.seg_private_end) return StallClass::kMemLlc;
+    return StallClass::kMemPrivate;
+  }
+  // A registered long-latency candidate without the second-level grant: the
+  // thread is holding out for (or has been denied) the big window.
+  if (rob_ctrl_->has_pending_candidate(t) && !second_.owned_by(t))
+    return StallClass::kRob2Wait;
+  return StallClass::kOther;
+}
+
+void SmtCore::attribute_tick() {
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
+    const bool committed_now = threads_[t].committed != commit_base_scratch_[t];
+    ++stall_cycles_[t][static_cast<size_t>(classify_stall(t, cycle_, committed_now))];
+  }
+}
+
+void SmtCore::attribute_idle_span(Cycle from, Cycle to) {
+  if (from >= to) return;
+  for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
+    // Inside an idle span every classification input is frozen except the
+    // cycle index, which only enters through the head load's segment edges —
+    // integrate piecewise over the edges that fall inside [from, to).
+    const ThreadState& ts = threads_[t];
+    Cycle c = from;
+    while (c < to) {
+      Cycle end = to;
+      if (!ts.rob.empty()) {
+        const DynInst& h = *ts.rob.head();
+        if (h.is_load() && h.issued && !h.executed)
+          for (const Cycle edge : {h.seg_private_end, h.seg_llc_end, h.seg_dram_end})
+            if (edge > c && edge < end) end = edge;
+      }
+      stall_cycles_[t][static_cast<size_t>(classify_stall(t, c, false))] += end - c;
+      c = end;
+    }
+  }
 }
 
 template bool SmtCore::tick_impl<false>();
@@ -1000,10 +1083,17 @@ void SmtCore::cmp_replay_idle_to(Cycle wake) {
   // exactly the state visible right now. Label semantics match the tick path:
   // sample L is the state after cycle L-1 completed.
   if (sample_every_ != 0) {
+    // Interleave the taxonomy with the sample replay: a sample labelled L
+    // must carry the attribution of every cycle < L, exactly as the tick
+    // path orders attribute_tick() before record_sample().
+    Cycle attributed = cycle_;
     while (next_sample_ <= wake) {
+      attribute_idle_span(attributed, next_sample_);
+      attributed = next_sample_;
       record_sample(next_sample_);
       next_sample_ += sample_every_;
     }
+    attribute_idle_span(attributed, wake);
   }
 
   const u64 skipped = wake - cycle_;
@@ -1086,6 +1176,10 @@ void SmtCore::record_sample(Cycle label) {
   s.cycle = label;
   s.second_level_owner = second_.owner();
   s.iq_occ_total = iq_.occupancy();
+  // Shared-backend MSHR occupancy: quiescent state (the pool only mutates
+  // inside request calls), so replayed samples see the same value the
+  // executed cycle would have.
+  s.llc_mshr_occ = shared_ != nullptr ? shared_->inflight_count() : 0;
   s.threads.reserve(cfg_.num_threads);
   for (ThreadId t = 0; t < cfg_.num_threads; ++t) {
     const ThreadState& ts = threads_[t];
@@ -1102,6 +1196,7 @@ void SmtCore::record_sample(Cycle label) {
     th.outstanding_l2 = ts.outstanding_l2;
     th.dcra_iq_cap = dcra_.cap(t, cfg_.iq_entries);
     th.committed = ts.committed - ts.committed_base;
+    th.stall = stall_cycles_[t];
     if (trace_ != nullptr) {
       trace_->counter_event(t, "rob_occ", label, th.rob_occ);
       trace_->counter_event(t, "outstanding_l2", label, th.outstanding_l2);
@@ -1145,6 +1240,7 @@ void SmtCore::reset_measurement() {
   // Drop warmup-era samples; next_sample_ keeps its absolute alignment so the
   // measured series stays on the same cycle grid regardless of warmup length.
   series_.reset();
+  for (auto& a : stall_cycles_) a.fill(0);
   profiler_.reset();
 }
 
@@ -1176,6 +1272,7 @@ RunResult SmtCore::snapshot_result() const {
   r.dod_true = dod_true_;
   r.dod_proxy = dod_proxy_;
   r.samples = series_;
+  if (sample_every_ != 0) r.stall_cycles = stall_cycles_;
 
   auto merge = [&r](const std::string& prefix, const StatGroup& g) {
     for (const auto& [name, c] : g.counters_map()) r.counters[prefix + name] = c.value();

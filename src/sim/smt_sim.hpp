@@ -246,6 +246,18 @@ class SmtCore {
   /// (also called from step()'s fast-forward replay, where the quiescent
   /// state is exactly the state every skipped cycle saw).
   void record_sample(Cycle label);
+  /// Stall-cycle taxonomy (active iff sampling is on): classifies thread `t`
+  /// at cycle `c` from current machine state. Pure; every input except the
+  /// cycle-indexed latency-chain segment comparison is invariant across an
+  /// idle span, which is what lets the fast-forward attribute skipped spans
+  /// piecewise instead of executing them.
+  obs::StallClass classify_stall(ThreadId t, Cycle c, bool committed_now) const;
+  /// Attributes the cycle being ticked (cycle_) for every thread; called at
+  /// the end of tick_impl, before the sampler, so samples see it.
+  void attribute_tick();
+  /// Attributes the idle cycles [from, to) from the quiescent state,
+  /// splitting at the head load's segment edges (at most three breakpoints).
+  void attribute_idle_span(Cycle from, Cycle to);
   /// Observes second-level ownership transitions for the Chrome trace's
   /// grant-lifecycle spans and the text tracer's grant notes. Called at the
   /// end of a tick only while an observer is attached; transitions can only
@@ -310,6 +322,15 @@ class SmtCore {
   obs::IntervalSeries series_;
   Cycle sample_every_ = 0;
   Cycle next_sample_ = 0;
+  // Closed stall-cycle taxonomy, gated with the sampler (sample_every_ != 0):
+  // per thread, measurement-relative cycles per obs::StallClass — exactly one
+  // class per thread per cycle, so each row sums to cycle_ - cycle_base_.
+  // Kept out of stats_ so a sampling run's counter map stays identical to a
+  // non-sampling run's (snapshot_result exports it as RunResult::stall_cycles).
+  std::vector<std::array<u64, obs::kStallClassCount>> stall_cycles_;
+  // Per-thread committed counts at the top of the current tick (kCommit
+  // detection scratch; only maintained while the taxonomy is on).
+  std::vector<u64> commit_base_scratch_;
   obs::SelfProfiler profiler_;
   // Detail attribution for the cross-cutting kMemory/kPredict phases: when
   // the profiler is on, ProfScope brackets the memory-hierarchy and

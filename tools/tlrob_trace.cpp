@@ -15,7 +15,13 @@
 //   sample=N       sampling period in cycles (default 1000)
 //   profile=0|1    host self-profile to stderr (default 1)
 //   insts= / warmup= / max_cycles= and all sim/config_override.hpp machine
-//   knobs (scheme=, threshold=, policy=, rob1=, rob2=, ...) apply.
+//   knobs (scheme=, threshold=, policy=, rob1=, rob2=, ...) apply —
+//   including the CMP topology knobs (cores=, llc=, dram=, force_cmp=, the
+//   same grammar tlrob-campaign accepts). Any of those routes the run
+//   through CmpMachine: the Chrome trace then carries one process track per
+//   core plus a "shared backend" process with LLC MSHR-pool occupancy and
+//   per-bank DRAM row-state tracks, and the sample series is the machine-
+//   wide core-merged one.
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -25,6 +31,7 @@
 
 #include "common/config.hpp"
 #include "obs/chrome_trace.hpp"
+#include "sim/cmp.hpp"
 #include "sim/config_override.hpp"
 #include "sim/experiment.hpp"
 #include "workload/spec_profiles.hpp"
@@ -71,32 +78,70 @@ int main(int argc, char** argv) {
   MachineConfig cfg;
   cfg.num_threads = static_cast<u32>(benches.size());
   cfg = apply_overrides(cfg, opts);
-  while (benches.size() < cfg.num_threads) benches.push_back(benches.back());
-  if (benches.size() > cfg.num_threads) benches.resize(cfg.num_threads);
+  // One benchmark per hardware thread, core-major (the legacy 1-core path
+  // degenerates to the old pad/trim behaviour).
+  const size_t hw_threads = static_cast<size_t>(cfg.num_cores) * cfg.num_threads;
+  while (benches.size() < hw_threads) benches.push_back(benches.back());
+  if (benches.size() > hw_threads) benches.resize(hw_threads);
 
   cfg.telemetry.sample_interval = opts.get_u64("sample", 1000);
   cfg.telemetry.profile = opts.get_bool("profile", true);
 
   const u64 insts = opts.get_u64("insts", 120000);
   const u64 warmup = opts.get_u64("warmup", 60000);
+  const u64 max_cycles = opts.get_u64("max_cycles", 0);
 
-  SmtCore core(cfg, benches);
-  obs::ChromeTraceWriter chrome;
-  core.attach_chrome_trace(&chrome);
-  const RunResult r = core.run(insts, opts.get_u64("max_cycles", 0), warmup);
+  const bool cmp_engine = cfg.num_cores > 1 || cfg.llc.enabled || cfg.force_cmp_engine;
+  if (!cmp_engine) {
+    SmtCore core(cfg, benches);
+    obs::ChromeTraceWriter chrome;
+    core.attach_chrome_trace(&chrome);
+    const RunResult r = core.run(insts, max_cycles, warmup);
 
-  std::fprintf(stderr, "%llu cycles, %zu samples, %zu trace events\n",
-               static_cast<unsigned long long>(r.cycles), r.samples.size(),
-               chrome.event_count());
+    std::fprintf(stderr, "%llu cycles, %zu samples, %zu trace events\n",
+                 static_cast<unsigned long long>(r.cycles), r.samples.size(),
+                 chrome.event_count());
 
-  bool ok = write_to(opts.get("out", "trace.json"), "Chrome trace",
-                     [&](std::ostream& os) { chrome.write(os); });
+    bool ok = write_to(opts.get("out", "trace.json"), "Chrome trace",
+                       [&](std::ostream& os) { chrome.write(os); });
+    if (opts.has("samples"))
+      ok &= write_to(opts.get("samples"), "sample series (JSONL)",
+                     [&](std::ostream& os) { r.samples.write_jsonl(os); });
+    if (opts.has("csv"))
+      ok &= write_to(opts.get("csv"), "sample series (CSV)",
+                     [&](std::ostream& os) { r.samples.write_csv(os); });
+    if (cfg.telemetry.profile) core.profiler().print(std::cerr, core.executed_cycles());
+    return ok ? 0 : 1;
+  }
+
+  CmpMachine machine(cfg, benches);
+  std::vector<obs::ChromeTraceWriter> core_writers(cfg.num_cores);
+  obs::ChromeTraceWriter backend_writer;
+  std::vector<obs::ChromeTraceWriter*> per_core;
+  per_core.reserve(core_writers.size());
+  for (auto& w : core_writers) per_core.push_back(&w);
+  machine.attach_chrome_trace(per_core, &backend_writer);
+  const RunResult r = machine.run(insts, max_cycles, warmup);
+
+  std::vector<const obs::ChromeTraceWriter*> all;
+  for (const auto& w : core_writers) all.push_back(&w);
+  if (machine.shared_memory() != nullptr) all.push_back(&backend_writer);
+  size_t events = 0;
+  for (const auto* w : all) events += w->event_count();
+  std::fprintf(stderr, "%u cores, %llu cycles, %zu samples, %zu trace events\n",
+               machine.num_cores(), static_cast<unsigned long long>(r.cycles),
+               r.samples.size(), events);
+
+  bool ok = write_to(opts.get("out", "trace.json"), "Chrome trace", [&](std::ostream& os) {
+    obs::ChromeTraceWriter::write_merged(os, all);
+  });
   if (opts.has("samples"))
     ok &= write_to(opts.get("samples"), "sample series (JSONL)",
                    [&](std::ostream& os) { r.samples.write_jsonl(os); });
   if (opts.has("csv"))
     ok &= write_to(opts.get("csv"), "sample series (CSV)",
                    [&](std::ostream& os) { r.samples.write_csv(os); });
-  if (cfg.telemetry.profile) core.profiler().print(std::cerr, core.executed_cycles());
+  if (cfg.telemetry.profile)
+    machine.aggregate_profile().print(std::cerr, machine.executed_cycles());
   return ok ? 0 : 1;
 }
