@@ -9,7 +9,7 @@
 #include "common/config.hpp"
 #include "runner/engine.hpp"
 #include "runner/render.hpp"
-#include "runner/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 using namespace tlrob;
 using namespace tlrob::runner;

@@ -1,8 +1,8 @@
-#include "runner/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 #include <chrono>
 
-namespace tlrob::runner {
+namespace tlrob {
 
 namespace {
 // Identity of the current pool worker, so submit() from inside a job lands
@@ -103,4 +103,4 @@ void WorkStealingPool::wait_idle() {
   while (unfinished_ != 0) idle_cv_.wait(lock);
 }
 
-}  // namespace tlrob::runner
+}  // namespace tlrob

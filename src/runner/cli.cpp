@@ -6,7 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
-#include "runner/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/config_override.hpp"
 #include "trace/resolve.hpp"
 
@@ -17,7 +17,7 @@ namespace {
 /// Flags that never take a following-token value.
 bool is_bare_flag(const std::string& key) {
   return key == "resume" || key == "per_job_seeds" || key == "no_render" ||
-         key == "list" || key == "help";
+         key == "list" || key == "help" || key == "allow_oversubscribe";
 }
 
 std::string normalise_key(std::string key) {
@@ -111,6 +111,13 @@ CampaignSpec custom_campaign(const Options& opts) {
     if (opts.has("llc")) apply_llc_spec(c.config.llc, opts.get("llc"));
     if (opts.has("dram")) apply_dram_spec(c.config.dram, opts.get("dram"));
     c.config.force_cmp_engine = opts.get_bool("force_cmp", c.config.force_cmp_engine);
+    // --parallel-cores[=N]: any nonzero value turns the parallel CMP engine
+    // on (the machine always uses one worker per core; N only declares the
+    // per-job width to the thread-budget heuristic in run_from_options).
+    c.config.parallel_cores =
+        static_cast<u32>(opts.get_u64("parallel_cores", c.config.parallel_cores));
+    c.config.parallel_quantum =
+        static_cast<u32>(opts.get_u64("parallel_quantum", c.config.parallel_quantum));
   }
 
   const std::string workload = opts.get("workload", "");
@@ -170,8 +177,35 @@ int run_from_options(const std::string& preset, const Options& opts) {
   if (opts.has("csv")) sinks.push_back(open_sink(opts.get("csv"), /*csv=*/true));
 
   const bool render = !opts.get_bool("no_render", false);
-  const u32 jobs = WorkStealingPool::resolve_threads(
+  u32 jobs = WorkStealingPool::resolve_threads(
       static_cast<u32>(opts.get_u64("jobs", 0)));
+
+  // Thread-budget guard: with --parallel-cores every in-flight job holds one
+  // worker thread per simulated core, so --jobs N multiplies. Clamp jobs to
+  // keep jobs x width within the hardware threads unless the user overrides
+  // with --allow-oversubscribe; either way results are bit-identical (only
+  // scheduling changes). The width declaration is the larger of the
+  // --parallel-cores value and --cores (presets carry their own core counts,
+  // which is why --parallel-cores takes an optional numeric value at all).
+  std::vector<std::string> notes;
+  const u32 parallel = static_cast<u32>(opts.get_u64("parallel_cores", 0));
+  if (parallel != 0) {
+    const u32 width = std::max(parallel, static_cast<u32>(opts.get_u64("cores", 1)));
+    const u32 hw = WorkStealingPool::resolve_threads(0);
+    if (width > 1 && static_cast<u64>(jobs) * width > hw &&
+        !opts.get_bool("allow_oversubscribe", false)) {
+      const u32 clamped = std::max<u32>(1, hw / width);
+      std::cerr << "warning: --jobs " << jobs << " x " << width
+                << " core workers per job exceeds " << hw
+                << " hardware threads; clamping to --jobs " << clamped
+                << " (--allow-oversubscribe keeps the requested value)\n";
+      notes.push_back(std::string("{\"note\":\"thread_budget\",\"requested_jobs\":") +
+                      std::to_string(jobs) + ",\"parallel_width\":" + std::to_string(width) +
+                      ",\"hw_threads\":" + std::to_string(hw) +
+                      ",\"clamped_jobs\":" + std::to_string(clamped) + "}");
+      jobs = clamped;
+    }
+  }
 
   CampaignResult result;
   std::string campaign_name;
@@ -186,6 +220,9 @@ int run_from_options(const std::string& preset, const Options& opts) {
     popts.sample_interval = opts.get_u64("sample_interval", 0);
     popts.sample_dir = opts.get("sample_dir", "");
     popts.workload = opts.get("workload", "");
+    popts.parallel_cores = parallel;
+    popts.parallel_quantum = static_cast<u32>(opts.get_u64("parallel_quantum", 0));
+    popts.notes = notes;
     result = run_preset(preset, popts);
     campaign_name = preset;
   } else {
@@ -194,6 +231,7 @@ int run_from_options(const std::string& preset, const Options& opts) {
     eng.jobs = jobs;
     eng.manifest_path = opts.get("manifest", "");
     eng.resume = opts.get_bool("resume", false);
+    eng.notes = notes;
     FtTableSink table(stdout);
     if (render) eng.sinks.push_back(&table);
     for (ResultSink* s : sinks) eng.sinks.push_back(s);

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "runner/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "trace/resolve.hpp"
 #include "workload/spec_profiles.hpp"
@@ -417,11 +417,18 @@ CampaignResult run_preset(const std::string& name, const PresetOptions& opts) {
   }
   spec.sample_interval = opts.sample_interval;
   spec.sample_dir = opts.sample_dir;
+  if (opts.parallel_cores != 0 || opts.parallel_quantum != 0) {
+    for (auto& c : spec.columns) {
+      c.config.parallel_cores = opts.parallel_cores;
+      c.config.parallel_quantum = opts.parallel_quantum;
+    }
+  }
 
   EngineOptions eng;
   eng.jobs = WorkStealingPool::resolve_threads(opts.jobs);
   eng.manifest_path = opts.manifest_path;
   eng.resume = opts.resume;
+  eng.notes = opts.notes;
 
   FtTableSink table(opts.out, preset.title == nullptr ? "" : preset.title);
   if (opts.render && preset.title != nullptr) eng.sinks.push_back(&table);

@@ -19,7 +19,9 @@ class SharedMemoryCheck final : public InvariantCheck {
 
   void run(const AuditContext& ctx, InvariantChecker& out) const override {
     if (ctx.shared == nullptr) return;
-    std::string detail = ctx.shared->audit_check();
+    // Ordered read: under the parallel CMP engine this waits until the
+    // backend is exactly in the state the serial engine would audit here.
+    std::string detail = ctx.shared->audit_check_at(ctx.core_id);
     if (!detail.empty())
       out.violation(ctx.cycle, kNoThread, "shared.memory", std::move(detail));
   }

@@ -226,7 +226,9 @@ TEST(LintScopes, RulesBindToTheirModules) {
   EXPECT_FALSE(in_scope("D1", "src/sim/smt_sim.cpp"));
   EXPECT_TRUE(in_scope("D2", "src/sim/smt_sim.cpp"));
   EXPECT_FALSE(in_scope("D2", "src/runner/engine.cpp"));
-  EXPECT_TRUE(in_scope("C2", "src/runner/thread_pool.cpp"));
+  EXPECT_TRUE(in_scope("C2", "src/common/thread_pool.cpp"));
+  EXPECT_TRUE(in_scope("C1", "src/common/sync.hpp"));
+  EXPECT_TRUE(in_scope("C2", "src/sim/cmp.cpp"));
   EXPECT_FALSE(in_scope("C2", "src/rob/allocation_policy.cpp"));
   EXPECT_TRUE(in_scope("D3", "tools/tlrob_campaign.cpp"));
 }

@@ -1,0 +1,248 @@
+// Parallel CMP engine: determinism, bit-identity, and barrier stress.
+//
+// The parallel engine (sim/cmp.cpp run_parallel + common/sync.hpp CoreGate)
+// promises results BYTE-identical to the serial lockstep engine — same
+// JSONL/CSV records, same counter maps, same sample series — for any epoch
+// quantum and regardless of host scheduling. These tests attack that promise
+// from three sides:
+//
+//   * differential over every CMP preset — each multi-core cell of each
+//     preset re-run with parallel_cores set must serialise to the same JSONL
+//     line as the serial engine (covers trace + synthetic workloads via the
+//     cmp_trace / cmp_mix presets and the workload grammar);
+//   * barrier fuzz — randomized epoch quanta, thrash-prone shared-LLC
+//     geometries that force cross-core MSHR merges, and branchy mixes whose
+//     mid-epoch squash storms run under the full audit tier (the audit reads
+//     the shared backend through the gate, so a single misordered backend
+//     call trips it); TSan CI runs this file, making the gate's release /
+//     acquire protocol machine-checked, not just argued;
+//   * invariance — the numeric --parallel-cores value and the epoch quantum
+//     must not leak into results (they only shape scheduling), and the
+//     machine-wide fast-forward reconstruction must reproduce the serial
+//     core.fast_forwarded_cycles exactly (snapshot counters are compared
+//     as full maps, so any drift is caught by name).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hpp"
+#include "runner/engine.hpp"
+#include "runner/golden.hpp"
+#include "runner/presets.hpp"
+#include "sim/cmp.hpp"
+#include "sim/metrics.hpp"
+#include "sim/presets.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace tlrob {
+namespace {
+
+std::vector<Benchmark> cmp_workload(const MachineConfig& cfg, const char* mem_bound,
+                                    const std::vector<const char*>& rest, std::mt19937& rng) {
+  std::vector<Benchmark> work;
+  for (u32 c = 0; c < cfg.num_cores; ++c)
+    for (u32 t = 0; t < cfg.num_threads; ++t)
+      work.push_back(c == 0 && t == 0 ? spec_benchmark(mem_bound)
+                                      : spec_benchmark(rest[rng() % rest.size()]));
+  return work;
+}
+
+/// Runs the same machine twice — serial and parallel with `quantum` — and
+/// requires identical snapshots (counter maps compared key-by-key).
+void expect_engines_identical(MachineConfig cfg, const std::vector<Benchmark>& work,
+                              u64 insts, u64 warmup, u32 quantum) {
+  cfg.parallel_cores = 0;
+  CmpMachine serial(cfg, work);
+  const RunResult a = serial.run(insts, 0, warmup);
+
+  cfg.parallel_cores = cfg.num_cores;
+  cfg.parallel_quantum = quantum;
+  CmpMachine parallel(cfg, work);
+  const RunResult b = parallel.run(insts, 0, warmup);
+
+  EXPECT_EQ(a.cycles, b.cycles);
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (size_t t = 0; t < a.threads.size(); ++t) {
+    EXPECT_EQ(a.threads[t].committed, b.threads[t].committed) << "thread " << t;
+    EXPECT_EQ(a.threads[t].ipc, b.threads[t].ipc) << "thread " << t;
+  }
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (const auto& [name, v] : a.counters) {
+    const auto it = b.counters.find(name);
+    ASSERT_NE(it, b.counters.end()) << name;
+    EXPECT_EQ(v, it->second) << name;
+  }
+  EXPECT_EQ(run_counter(a, "core.fast_forwarded_cycles"),
+            run_counter(b, "core.fast_forwarded_cycles"));
+}
+
+// ---------------------------------------------------------------------------
+// Barrier fuzz: randomized quanta, forced cross-core merges, squash storms.
+// ---------------------------------------------------------------------------
+
+class ParallelBarrierFuzz : public ::testing::TestWithParam<u32 /*seed*/> {};
+
+TEST_P(ParallelBarrierFuzz, RandomQuantaMatchSerialUnderMergeAndSquashPressure) {
+  std::mt19937 rng(GetParam() * 0x9E3779B9u + 3);
+  auto pick = [&](u32 lo, u32 hi) { return lo + rng() % (hi - lo + 1); };
+
+  static const RobScheme kSchemes[] = {RobScheme::kBaseline, RobScheme::kReactive,
+                                       RobScheme::kPredictive};
+  MachineConfig cfg = cmp_config(pick(2, 4), kSchemes[rng() % 3], pick(4, 24));
+  cfg.num_threads = pick(1, 2);
+  cfg.rob_first_level = pick(8, 48);
+  // Thrash-prone shared LLC + tiny MSHR pool: cross-core merges, pool-full
+  // admission delays and dirty-victim spills all fire at fuzz run lengths,
+  // so every gated backend path sees concurrent traffic.
+  cfg.llc.geo = CacheGeometry{u64{1} << pick(13, 14), 1u << pick(1, 2), 128,
+                              static_cast<u32>(pick(16, 32))};
+  cfg.llc.mshr_entries = pick(2, 6);
+  cfg.dram.channels = 1u << pick(0, 1);
+  cfg.dram.banks_per_channel = 1u << pick(1, 3);
+  cfg.dram.open_page = (rng() & 1) != 0;
+  // Starved predictor => mid-epoch squash storms on the branchy threads.
+  cfg.predictor.gshare_entries = 16;
+  cfg.predictor.history_bits = 4;
+  cfg.predictor.btb_entries = 16;
+  cfg.seed = GetParam() * 7901 + 13;
+  if (pick(0, 1) != 0) {
+    cfg.telemetry.sample_interval = pick(50, 400);  // exercise gated sample reads
+  }
+
+  static const std::vector<const char*> kBranchy = {"crafty", "gzip", "twolf", "parser"};
+  const std::vector<Benchmark> work = cmp_workload(cfg, "mcf", kBranchy, rng);
+
+  // Randomized epoch quantum, including degenerate 1-cycle epochs (a barrier
+  // every cycle — maximal interleaving churn) and quanta far beyond the run.
+  static const u32 kQuanta[] = {1, 7, 64, 1023, 8192, 1u << 20};
+  expect_engines_identical(cfg, work, 1500, pick(0, 1) ? 400 : 0, kQuanta[rng() % 6]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelBarrierFuzz, ::testing::Range(0u, 6u));
+
+// Full audit pins the machine cycle-by-cycle on both engines; the parallel
+// one still runs a worker per core, every audit reading the shared backend
+// through the gate. A misordered LLC/DRAM mutation trips abort_on_violation
+// inside a worker and must surface as the test failure, not a deadlock.
+TEST(ParallelBarrierFuzz, PinnedFullAuditMachineMatchesSerialAndStaysClean) {
+  std::mt19937 rng(1234);
+  MachineConfig cfg = cmp_config(3, RobScheme::kReactive, 16);
+  cfg.num_threads = 2;
+  cfg.llc.geo = CacheGeometry{1 << 14, 2, 128, 24};
+  cfg.llc.mshr_entries = 4;
+  cfg.audit.level = AuditLevel::kFull;
+  cfg.audit.cheap_interval = 1;
+  cfg.audit.full_interval = 4;
+  cfg.audit.abort_on_violation = true;
+
+  static const std::vector<const char*> kBranchy = {"crafty", "twolf"};
+  const std::vector<Benchmark> work = cmp_workload(cfg, "mcf", kBranchy, rng);
+  expect_engines_identical(cfg, work, 800, 200, 64);
+
+  cfg.parallel_cores = cfg.num_cores;
+  CmpMachine machine(cfg, work);
+  EXPECT_NO_THROW(machine.run(800));
+  for (u32 c = 0; c < machine.num_cores(); ++c)
+    EXPECT_EQ(machine.core(c).auditor().total_violations(), 0u)
+        << "core " << c << ": " << machine.core(c).auditor().report();
+  EXPECT_EQ(machine.shared_memory()->audit_check(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Invariance: the knob values shape scheduling, never results.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelInvariance, FlagValueAndQuantumDoNotChangeResults) {
+  std::mt19937 rng(77);
+  MachineConfig cfg = cmp_config(2, RobScheme::kReactive, 16);
+  cfg.num_threads = 2;
+  cfg.telemetry.sample_interval = 250;
+  static const std::vector<const char*> kRest = {"crafty", "art"};
+  const std::vector<Benchmark> work = cmp_workload(cfg, "mcf", kRest, rng);
+
+  // Full-result fingerprint: cycles, per-thread results, the whole counter
+  // map, and the machine-wide sample series bytes.
+  auto record = [&](u32 parallel, u32 quantum) {
+    MachineConfig c = cfg;
+    c.parallel_cores = parallel;
+    c.parallel_quantum = quantum;
+    CmpMachine m(c, work);
+    const RunResult r = m.run(3000, 0, 800);
+    std::ostringstream os;
+    os << r.cycles;
+    for (const ThreadResult& t : r.threads) os << "|" << t.benchmark << ":" << t.committed;
+    for (const auto& [name, v] : r.counters) os << "|" << name << "=" << v;
+    os << "\n";
+    r.samples.write_jsonl(os);
+    return os.str();
+  };
+
+  const std::string serial = record(0, 0);
+  // Any nonzero parallel_cores value means "one worker per core"; the value
+  // itself and the quantum are pure scheduling knobs.
+  EXPECT_EQ(serial, record(1, 0));
+  EXPECT_EQ(serial, record(2, 0));
+  EXPECT_EQ(serial, record(16, 0));
+  EXPECT_EQ(serial, record(2, 1));
+  EXPECT_EQ(serial, record(2, 500000));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: every CMP preset, serial vs parallel, byte-identical JSONL.
+// ---------------------------------------------------------------------------
+//
+// Multi-core cells of every preset (the cmp_* presets carry both synthetic
+// and trace-driven workloads) re-run with parallel_cores set must serialise
+// byte-identically. Single-core cells are skipped — the parallel engine
+// only engages on multi-core machines by construction.
+
+TEST(ParallelCmpDifferential, ParallelEngineIsByteIdenticalToSerialOnEveryCmpPreset) {
+  using runner::JobSpec;
+  u32 compared_total = 0;
+  for (const std::string& preset : runner::preset_names()) {
+    runner::CampaignSpec spec = runner::preset_campaign(preset, runner::golden_run_length());
+    std::vector<JobSpec> jobs = runner::expand(spec);
+    std::erase_if(jobs, [](const JobSpec& j) { return j.config.num_cores <= 1; });
+    const size_t stride = jobs.size() <= 3 ? 1 : jobs.size() / 3;
+    u32 compared = 0;
+    for (size_t i = 0; i < jobs.size() && compared < 3; i += stride, ++compared) {
+      const JobSpec& serial = jobs[i];
+      JobSpec parallel = serial;
+      parallel.config.parallel_cores = parallel.config.num_cores;
+      const std::string a = runner::to_json_line(runner::execute_job(serial));
+      const std::string b = runner::to_json_line(runner::execute_job(parallel));
+      EXPECT_EQ(a, b) << preset << " cell " << i << " (" << serial.config_name << " / "
+                      << serial.mix.name << "): parallel engine diverged";
+      ++compared_total;
+    }
+  }
+  // cmp_mix + cmp_trace must both have contributed multi-core cells.
+  EXPECT_GE(compared_total, 4u);
+}
+
+// A mixed serial/parallel campaign through the engine proper: records (and
+// therefore every sink's bytes) must match a fully serial campaign for any
+// --jobs count, with the parallel engine active inside each job.
+TEST(ParallelCmpDifferential, CampaignRecordsIdenticalWithParallelEngineUnderPoolJobs) {
+  runner::CampaignSpec spec = runner::preset_campaign("cmp_mix", {1500, 400});
+
+  runner::EngineOptions serial_opts;
+  serial_opts.jobs = 1;
+  const runner::CampaignResult serial = runner::run_campaign(spec, serial_opts);
+
+  for (auto& c : spec.columns) c.config.parallel_cores = c.config.num_cores;
+  runner::EngineOptions par_opts;
+  par_opts.jobs = 2;  // campaign pool x core workers: the nested-pools path
+  const runner::CampaignResult parallel = runner::run_campaign(spec, par_opts);
+
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (size_t i = 0; i < serial.records.size(); ++i)
+    EXPECT_EQ(runner::to_json_line(serial.records[i]), runner::to_json_line(parallel.records[i]))
+        << "record " << i;
+}
+
+}  // namespace
+}  // namespace tlrob

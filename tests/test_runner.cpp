@@ -14,7 +14,7 @@
 #include "runner/cli.hpp"
 #include "runner/engine.hpp"
 #include "runner/render.hpp"
-#include "runner/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
 
 namespace tlrob::runner {

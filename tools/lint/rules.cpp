@@ -39,11 +39,13 @@ const char* const kCoreScope[] = {
 /// D3: everywhere counters are registered or read by name.
 const char* const kCounterScope[] = {"src/", "tools/"};
 
-/// C1/C2: the concurrent modules (campaign pool, emitter, sinks, the
-/// single-thread-IPC memo, observability sample sinks).
+/// C1/C2: the concurrent modules (the shared pool and gate primitives in
+/// common/, the campaign engine/emitter/sinks, the single-thread-IPC memo,
+/// the parallel CMP epoch executor, observability sample sinks).
 const char* const kConcurrencyScope[] = {
-    "src/runner/thread_pool", "src/runner/engine", "src/runner/sinks",
-    "src/sim/experiment",     "src/obs/",
+    "src/common/thread_pool", "src/common/sync", "src/runner/engine",
+    "src/runner/sinks",       "src/sim/experiment", "src/sim/cmp",
+    "src/obs/",
 };
 
 template <size_t N>

@@ -46,6 +46,20 @@ void print_usage() {
       "                   format, gzip ok), tracegen:<profile>@<records>[@<seed>],\n"
       "                   or mix:<n>; thread count follows the list length\n"
       "  --name NAME      campaign name for custom sweeps\n"
+      "  --cores N        CMP: split each column's threads over N cores\n"
+      "  --llc SPEC       shared LLC kb[:ways[:lat[:mshr]]] (implies a backend)\n"
+      "  --dram SPEC      DRAM channels[:banks[:tcas[:trcd[:trp]]]]\n"
+      "  --parallel-cores[=N]\n"
+      "                   run each multi-core machine on one worker thread per\n"
+      "                   core (bit-identical to the serial engine; default off).\n"
+      "                   N declares the per-job width to the thread-budget\n"
+      "                   guard, which clamps --jobs so jobs x width stays\n"
+      "                   within the hardware threads\n"
+      "  --parallel-quantum N\n"
+      "                   parallel-engine epoch quantum in cycles (scheduling\n"
+      "                   granularity only; 0 = default)\n"
+      "  --allow-oversubscribe\n"
+      "                   skip the jobs x parallel-cores thread-budget clamp\n"
       "  --list           list the available presets\n");
 }
 
